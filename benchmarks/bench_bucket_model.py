@@ -1,0 +1,90 @@
+"""Section 5.2.2's probabilistic model of active-bucket distribution —
+the three conclusions, with numbers.
+
+1. P(completely even) and P(totally uneven) are both very low (<1%);
+   typical distributions are in between.
+2. More active buckets (same processors) → more even distributions —
+   why the numerous right buckets spread well.
+3. More processors → more uneven distributions — part of why speedups
+   do not scale.
+"""
+
+import pytest
+
+from conftest import once
+from repro.analysis import (BucketModel, format_table, imbalance_factor,
+                            prob_all_on_one, prob_perfectly_even)
+
+
+def test_conclusion_1_extremes_rare(benchmark, report):
+    model = BucketModel(active_buckets=96, processors=16)
+    p_even, p_one = once(benchmark,
+                         lambda: (model.p_even(), model.p_all_on_one()))
+    report("bucket_model_c1",
+           f"96 active buckets on 16 processors:\n"
+           f"  P(perfectly even)  = {p_even:.2e}\n"
+           f"  P(all on one proc) = {p_one:.2e}\n"
+           f"(paper: both < 1%; the typical outcome is in between)")
+    assert p_even < 0.01
+    assert p_one < 0.01
+
+
+def test_conclusion_2_more_active_buckets_more_even(benchmark, report):
+    counts = [32, 64, 128, 256, 512, 1024]
+    factors = once(benchmark,
+                   lambda: [imbalance_factor(m, 16, trials=4000)
+                            for m in counts])
+    report("bucket_model_c2", format_table(
+        ["active buckets", "E[max load] / even share"],
+        [[m, f] for m, f in zip(counts, factors)],
+        title="Conclusion 2: more active buckets -> more even "
+              "(16 processors)"))
+    # Strictly improving towards 1.0 along the sweep.
+    for a, b in zip(factors, factors[1:]):
+        assert b < a
+    assert factors[-1] < 1.25
+
+
+def test_conclusion_3_more_processors_more_uneven(benchmark, report):
+    procs = [2, 4, 8, 16, 32]
+    factors = once(benchmark,
+                   lambda: [imbalance_factor(128, p, trials=4000)
+                            for p in procs])
+    report("bucket_model_c3", format_table(
+        ["processors", "E[max load] / even share"],
+        [[p, f] for p, f in zip(procs, factors)],
+        title="Conclusion 3: more processors -> more uneven "
+              "(128 active buckets)"))
+    for a, b in zip(factors, factors[1:]):
+        assert b > a
+    # The probability of a distribution allowing near-linear speedup
+    # falls with the processor count.
+    assert prob_perfectly_even(128, 2) > prob_perfectly_even(128, 32)
+
+
+def test_model_against_simulated_right_buckets(benchmark, rubik, report):
+    """The model's explanation for the paper's observation that right
+    buckets spread evenly: there are many of them.  Check against the
+    actual simulated distribution of the Rubik section."""
+    from repro.analysis import coefficient_of_variation
+    from repro.mpc import simulate
+
+    def run():
+        result = simulate(rubik, n_procs=16)
+        right_cv = []
+        left_cv = []
+        for c in result.cycles:
+            rights = [t - l for t, l in zip(c.proc_activations,
+                                            c.proc_left_activations)]
+            right_cv.append(coefficient_of_variation(rights))
+            left_cv.append(coefficient_of_variation(
+                c.proc_left_activations))
+        return (sum(right_cv) / len(right_cv),
+                sum(left_cv) / len(left_cv))
+
+    right_cv, left_cv = once(benchmark, run)
+    report("bucket_model_vs_sim",
+           f"Rubik on 16 procs, mean per-cycle CV of loads:\n"
+           f"  right activations: {right_cv:.2f}  (many active buckets)\n"
+           f"  left activations:  {left_cv:.2f}  (few active buckets)")
+    assert right_cv < left_cv

@@ -1,0 +1,127 @@
+"""Section 6 (future work): the mapping continuum, explored.
+
+The paper: "The mapping presented in this paper may be thought of as
+being near the center of a continuum of mappings.  At one extreme, we
+have the mapping of hash-tables replicated on all processors...  At
+the other extreme is a mapping with a single master-copy of the
+hash-table...  we intend to investigate the possibility of moving
+toward one or the other end of this continuum."
+
+This bench carries out that investigation with the same cost model:
+the distributed hash table must beat both extremes on the
+characteristic sections, and the extremes must fail for the reasons
+the paper gives (continuous copy updates; owner contention).
+
+It also covers Section 3.2's variation 1: the processor-pair base
+mapping versus the merged mapping the simulations used.
+"""
+
+import pytest
+
+from conftest import once
+from repro.analysis import format_table
+from repro.mpc import (TABLE_5_1, simulate, simulate_master_copy,
+                       simulate_pairs, simulate_replicated, speedup)
+
+PROCS = 16
+OVH = TABLE_5_1[1]  # the 8 us Nectar-like setting
+
+
+def test_continuum(benchmark, sections, bases, report):
+    def run():
+        rows = []
+        for trace in sections:
+            base = bases[trace.name]
+            distributed = speedup(base, simulate(
+                trace, n_procs=PROCS, overheads=OVH))
+            replicated = speedup(base, simulate_replicated(
+                trace, PROCS, overheads=OVH))
+            master = speedup(base, simulate_master_copy(
+                trace, PROCS, overheads=OVH))
+            rows.append((trace.name, replicated, distributed, master))
+        return rows
+
+    rows = once(benchmark, run)
+    report("continuum", format_table(
+        ["section", "replicated", "distributed (paper)", "master-copy"],
+        [list(r) for r in rows],
+        title=f"The Section 6 mapping continuum at {PROCS} processors, "
+              f"{OVH.label()} overheads"))
+
+    for name, replicated, distributed, master in rows:
+        assert distributed > replicated, name
+        assert distributed > master, name
+        # The extremes collapse below ~2x: replication multiplies the
+        # store work by P; the master serializes it.
+        assert replicated < 2.0, name
+        assert master < 2.5, name
+
+
+def test_processor_pairs_tradeoff(benchmark, rubik, bases, report):
+    """Section 3.2 variation 1: pairs overlap the two micro-tasks but
+    cost an intra-pair forward per activation; merged processors use a
+    small machine better once overheads are real."""
+    base = bases["rubik"]
+
+    def run():
+        rows = []
+        for n_partitions in (4, 8, 16):
+            merged_same_cpus = speedup(base, simulate(
+                rubik, n_procs=2 * n_partitions, overheads=OVH))
+            paired = speedup(base, simulate_pairs(
+                rubik, n_pairs=n_partitions, overheads=OVH))
+            merged_same_partitions = speedup(base, simulate(
+                rubik, n_procs=n_partitions, overheads=OVH))
+            rows.append((n_partitions, merged_same_partitions, paired,
+                         merged_same_cpus))
+        return rows
+
+    rows = once(benchmark, run)
+    report("processor_pairs", format_table(
+        ["hash partitions", "merged (P cpus)", "pairs (2P cpus)",
+         "merged (2P cpus)"],
+        [list(r) for r in rows],
+        title="Section 3.2 variation 1: processor pairs vs merged "
+              "mapping (Rubik, 8us overheads)"))
+
+    for n_partitions, merged_p, paired, merged_2p in rows:
+        # Pairs beat the merged mapping at the same partition count
+        # (micro-task overlap)...
+        assert paired > merged_p * 0.95
+        # ...but the same CPU budget spent on more merged processors is
+        # better — the paper's reason for merging on a 32-CPU Nectar.
+        assert merged_2p > paired * 0.95
+
+
+def test_dedicated_constant_test_processors(benchmark, rubik, bases,
+                                            report):
+    """Section 3.2 variation 2: dedicated constant-node processors are
+    fine at zero overheads but 'could become bottlenecks, if the
+    communication overheads are comparatively high' — in which case
+    'broadcasting wmes to all processors would be preferable'."""
+    from repro.mpc import (TABLE_5_1, ZERO_OVERHEADS,
+                           simulate_dedicated_alpha)
+    base = bases["rubik"]
+
+    def run():
+        rows = []
+        for label, overheads in [("0us", ZERO_OVERHEADS),
+                                 ("8us", TABLE_5_1[1]),
+                                 ("32us", TABLE_5_1[3])]:
+            broadcast = speedup(base, simulate(rubik, 16,
+                                               overheads=overheads))
+            dedicated = speedup(base, simulate_dedicated_alpha(
+                rubik, 16, n_const_procs=2, overheads=overheads))
+            rows.append([label, broadcast, dedicated])
+        return rows
+
+    rows = once(benchmark, run)
+    report("dedicated_alpha", format_table(
+        ["overhead", "broadcast (paper's variant)",
+         "2 dedicated const-test procs"],
+        rows,
+        title="Section 3.2 variation 2 on Rubik, 16 match processors"))
+
+    zero, mid, high = rows
+    assert zero[2] >= zero[1] * 0.95       # fine without overheads
+    assert high[1] > 1.3 * high[2]         # bottleneck at 32us

@@ -1,0 +1,71 @@
+"""Figure 5-1: speedups with zero message-passing overheads.
+
+Paper: all three sections sweep 1..32 processors with zero network
+latency and zero message-processing overhead, round-robin buckets.
+Rubik shows the largest overall speedup; the curves exhibit *dips*
+(speedup decreasing as processors increase) caused by unlucky bucket
+distribution; peaks fall in the 8-12-fold band quoted in Section 5.2.
+"""
+
+import pytest
+
+from conftest import once
+from repro.analysis import curve_plot, format_table
+from repro.mpc import (ZERO_OVERHEADS, simulate, speedup, speedup_curve)
+
+PROCS = [1, 2, 4, 8, 12, 16, 20, 24, 28, 32]
+FINE_PROCS = list(range(1, 33))
+
+
+def compute_curves(sections):
+    return [speedup_curve(t, PROCS, overheads=ZERO_OVERHEADS,
+                          label=t.name) for t in sections]
+
+
+def test_fig5_1(benchmark, sections, bases, report):
+    curves = once(benchmark, lambda: compute_curves(sections))
+
+    rows = [[p] + [c.speedups[i] for c in curves]
+            for i, p in enumerate(PROCS)]
+    text = format_table(
+        ["procs"] + [c.label for c in curves], rows,
+        title="Figure 5-1: speedups with zero message-passing overheads")
+    text += "\n\n" + curve_plot(PROCS, [c.speedups for c in curves],
+                                [c.label for c in curves])
+    report("fig5_1", text)
+
+    by_name = {c.label: c for c in curves}
+
+    # Rubik has the largest overall speedup of the three sections.
+    assert by_name["rubik"].peak()[1] > by_name["tourney"].peak()[1]
+    assert by_name["rubik"].peak()[1] > by_name["weaver"].peak()[1]
+
+    # "Up to 8-12 fold speedups are available in the three sections":
+    # the best section peaks in (or above) that band, every section
+    # reaches a useful multiple, none exceeds the processor count.
+    best = max(c.peak()[1] for c in curves)
+    assert 8.0 <= best <= 14.0
+    for c in curves:
+        assert c.peak()[1] >= 4.0
+        for p, s in zip(c.proc_counts, c.speedups):
+            assert s <= p + 1e-9
+
+    # Speedups grow overall from 1 to 32 processors.
+    for c in curves:
+        assert c.at(32) > c.at(4)
+
+
+def test_fig5_1_dips_exist(benchmark, rubik, bases):
+    """The paper highlights *decreases* in speedup with *increases* in
+    processor count (uneven distribution of the hash-table partitions).
+    A fine-grained sweep must show at least one dip."""
+    base = bases["rubik"]
+
+    def fine_curve():
+        return [speedup(base, simulate(rubik, n_procs=p)) for p in
+                FINE_PROCS]
+
+    speedups = once(benchmark, fine_curve)
+    dips = [p for p in range(1, len(speedups))
+            if speedups[p] < speedups[p - 1] - 1e-6]
+    assert dips, "expected at least one dip in the fine-grained curve"

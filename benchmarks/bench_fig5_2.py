@@ -1,0 +1,78 @@
+"""Figure 5-2: speedups with varying overheads — Rubik (top), Tourney
+(middle), Weaver (bottom).
+
+Paper: each section is swept over 1..32 processors at the four Table 5-1
+overhead settings (latency fixed at 0.5 us).  The impact of the heaviest
+setting (32 us total) is a loss of ~30% of the zero-overhead speedup for
+Rubik, ~45% for Tourney, and up to ~50% for Weaver — ordered by each
+section's fraction of *left* activations (only left activations travel
+as messages; Table 5-2).
+"""
+
+import pytest
+
+from conftest import once
+from repro.analysis import curve_plot, format_table
+from repro.mpc import overhead_sweep, speedup_loss
+
+PROCS = [1, 2, 4, 8, 16, 24, 32]
+
+#: Paper-quoted peak-speedup losses at the 32 us setting, with the
+#: tolerance bands we accept from a reconstructed trace.
+LOSS_BANDS = {
+    "rubik": (0.30, 0.15, 0.45),    # quoted, accepted low, accepted high
+    "tourney": (0.45, 0.33, 0.58),
+    "weaver": (0.50, 0.35, 0.60),
+}
+
+
+@pytest.mark.parametrize("section_name", ["rubik", "tourney", "weaver"])
+def test_fig5_2(benchmark, sections, report, section_name):
+    trace = next(t for t in sections if t.name == section_name)
+
+    curves = once(benchmark,
+                  lambda: overhead_sweep(trace, proc_counts=PROCS))
+
+    labels = [f"{c.label.split('@')[1]}" for c in curves]
+    rows = [[p] + [c.speedups[i] for c in curves]
+            for i, p in enumerate(PROCS)]
+    text = format_table(
+        ["procs"] + labels, rows,
+        title=f"Figure 5-2 ({section_name}): speedups with varying "
+              f"overheads")
+    text += "\n\n" + curve_plot(PROCS, [c.speedups for c in curves],
+                                labels)
+    loss = speedup_loss(curves[0], curves[3])
+    quoted, lo, hi = LOSS_BANDS[section_name]
+    text += (f"\n\npeak-speedup loss at 32us total overhead: "
+             f"{loss:.0%}   (paper: ~{quoted:.0%})")
+    report(f"fig5_2_{section_name}", text)
+
+    # More overhead, less speedup — monotone across the four settings
+    # at the full machine size.
+    at32 = [c.at(32) for c in curves]
+    assert at32 == sorted(at32, reverse=True)
+
+    # The loss band.
+    assert lo <= loss <= hi, (
+        f"{section_name}: loss {loss:.0%} outside [{lo:.0%}, {hi:.0%}]")
+
+
+def test_fig5_2_losses_ordered_by_left_fraction(benchmark, sections,
+                                                report):
+    """Rubik (28% left) loses least; Tourney (99%) and Weaver (81%) lose
+    much more — the paper's Table 5-2 explanation of Figure 5-2."""
+    def losses():
+        out = {}
+        for trace in sections:
+            curves = overhead_sweep(trace, proc_counts=PROCS)
+            out[trace.name] = speedup_loss(curves[0], curves[3])
+        return out
+
+    result = once(benchmark, losses)
+    report("fig5_2_losses",
+           "Peak-speedup loss at 32us overhead vs zero overhead\n" +
+           "\n".join(f"  {name:<8} {loss:.0%}"
+                     for name, loss in result.items()))
+    assert result["rubik"] < result["tourney"]
+    assert result["rubik"] < result["weaver"]

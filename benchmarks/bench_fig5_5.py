@@ -1,0 +1,59 @@
+"""Figure 5-5: distribution of tokens in two independent cycles (Rubik).
+
+Paper: at the level of an individual MRA cycle the distribution of left
+tokens over processors is quite uneven, and processors busy in one cycle
+are idle in the next (and vice versa) — e.g. processor 1 processed ~20
+tokens in *both* cycles while most others alternated.  The aggregate
+over the section's cycles is "more or less even".
+"""
+
+import pytest
+
+from conftest import once
+from repro.analysis import (aggregate, alternation_score, bar_chart,
+                            coefficient_of_variation)
+from repro.mpc import simulate
+from repro.workloads.rubik import FIG_5_5_PROCS
+
+
+def test_fig5_5(benchmark, rubik, report):
+    run = once(benchmark,
+               lambda: simulate(rubik, n_procs=FIG_5_5_PROCS))
+
+    cycle1 = run.cycles[0].proc_left_activations
+    cycle2 = run.cycles[1].proc_left_activations
+    labels = [f"p{p}" for p in range(FIG_5_5_PROCS)]
+
+    text = "Figure 5-5: left-token distribution, Rubik, " \
+           f"{FIG_5_5_PROCS} processors\n\n"
+    text += bar_chart(cycle1, labels, title="cycle 1") + "\n\n"
+    text += bar_chart(cycle2, labels, title="cycle 2") + "\n\n"
+    text += bar_chart(aggregate([c.proc_left_activations
+                                 for c in run.cycles]),
+                      labels, title="aggregate over the section")
+    text += (f"\n\nalternation score (anti-correlation of cycles 1-2): "
+             f"{alternation_score(cycle1, cycle2):.2f}")
+    report("fig5_5", text)
+
+    # Within a cycle: quite uneven.
+    assert coefficient_of_variation(cycle1) > 0.5
+    assert coefficient_of_variation(cycle2) > 0.5
+
+    # Busy in one cycle, idle in the next: positive anti-correlation,
+    # and several processors swap between (near-)idle and busy.
+    assert alternation_score(cycle1, cycle2) > 0.0
+    swapped = sum(1 for a, b in zip(cycle1, cycle2)
+                  if (a == 0) != (b == 0))
+    assert swapped >= FIG_5_5_PROCS // 3
+
+    # At least one processor is busy in BOTH cycles (the paper's
+    # "processor number 1 processed ~20 tokens in both cycles").
+    assert any(a > 10 and b > 10 for a, b in zip(cycle1, cycle2))
+
+    # The aggregate over the whole section is "more or less even" —
+    # markedly less skewed than any individual cycle.
+    total = aggregate([c.proc_left_activations for c in run.cycles])
+    assert coefficient_of_variation(total) < \
+        0.8 * min(coefficient_of_variation(cycle1),
+                  coefficient_of_variation(cycle2))
+    assert all(t > 0 for t in total)  # nobody idle across the section

@@ -1,0 +1,80 @@
+"""Section 5.2.2 text claims about bucket distribution:
+
+* A *random* distribution of buckets "failed to provide a significant
+  improvement" over round robin.
+* The offline greedy distribution (fed each cycle's per-bucket activity
+  — information a real system would not have) "improved the speedups by
+  a factor of 1.4", bounding what better static distribution could buy.
+"""
+
+import pytest
+
+from conftest import once
+from repro.analysis import format_table
+from repro.mpc import (RandomMapping, bucket_work, greedy_mapping,
+                       simulate, simulate_base, speedup)
+
+PROCS = [16, 32]
+
+
+def run_strategies(trace, base):
+    rows = []
+    for n_procs in PROCS:
+        rr = simulate(trace, n_procs=n_procs)
+        rnd = simulate(trace, n_procs=n_procs,
+                       mapping=RandomMapping(n_procs=n_procs, seed=1))
+        greedy = simulate(
+            trace, n_procs=n_procs,
+            mapping_factory=lambda cycle, p=n_procs:
+                greedy_mapping(bucket_work(cycle), p))
+        rows.append((n_procs, speedup(base, rr), speedup(base, rnd),
+                     speedup(base, greedy), rr.total_us / greedy.total_us))
+    return rows
+
+
+@pytest.mark.parametrize("section_name", ["rubik", "tourney"])
+def test_greedy_distribution(benchmark, sections, bases, report,
+                             section_name):
+    trace = next(t for t in sections if t.name == section_name)
+    rows = once(benchmark,
+                lambda: run_strategies(trace, bases[section_name]))
+
+    report(f"greedy_{section_name}", format_table(
+        ["procs", "round-robin", "random", "greedy (per-cycle)",
+         "greedy/rr"],
+        [[p, rr, rnd, gr, f"{imp:.2f}x"]
+         for p, rr, rnd, gr, imp in rows],
+        title=f"Bucket distribution strategies on {section_name} "
+              f"(paper: greedy ~1.4x, random ~no improvement)"))
+
+    for n_procs, rr, rnd, gr, improvement in rows:
+        # Random is not a significant improvement over round robin.
+        assert rnd < 1.15 * rr, \
+            f"random unexpectedly beat round robin at {n_procs} procs"
+        # Greedy helps substantially, in the neighbourhood of the
+        # paper's 1.4x (we accept a band: the traces are reconstructed).
+        assert 1.1 <= improvement <= 2.2, (
+            f"{section_name}@{n_procs}: greedy improvement "
+            f"{improvement:.2f}x outside [1.1, 2.2]")
+
+
+def test_greedy_mean_improvement_near_paper(benchmark, sections, bases,
+                                            report):
+    """Averaged over sections and machine sizes, the greedy improvement
+    lands near the paper's 1.4x figure."""
+    def mean_improvement():
+        imps = []
+        for trace in sections:
+            if trace.name == "weaver":
+                continue  # the paper's 1.4x discussion covers the
+                # bucket-bound sections; Weaver is generation-bound
+            for _, _, _, _, imp in run_strategies(trace,
+                                                  bases[trace.name]):
+                imps.append(imp)
+        return sum(imps) / len(imps)
+
+    mean_imp = once(benchmark, mean_improvement)
+    report("greedy_mean",
+           f"mean greedy improvement over round robin: {mean_imp:.2f}x "
+           f"(paper: 1.4x)")
+    assert 1.2 <= mean_imp <= 1.9

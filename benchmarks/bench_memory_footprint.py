@@ -1,0 +1,79 @@
+"""Section 3.1's memory arithmetic, verified.
+
+Paper: "With this encoding, large OPS5 programs (with ~1000
+productions) require about 1-2 Mbytes of memory, a potential problem,
+since a message-passing processor may have only 10-20 kbytes of local
+memory."  Remedies: partition the Rete nodes (keeping one production's
+nodes in different partitions), and/or the 14-byte structure encoding.
+"""
+
+import pytest
+
+from conftest import once
+from repro.analysis import format_table
+from repro.ops5 import parse_production
+from repro.rete import (build_network, inline_bytes, partition_nodes,
+                        partitions_needed, struct_bytes)
+
+
+def thousand_production_network():
+    rules = []
+    for i in range(1000):
+        ces = " ".join(f"(c{i}x{j} ^v <x>)" for j in range(3))
+        rules.append(parse_production(f"(p r{i} {ces} --> (remove 1))"))
+    return build_network(rules)
+
+
+def test_section_3_1_memory_arithmetic(benchmark, report):
+    net = once(benchmark, thousand_production_network)
+
+    inline = inline_bytes(net)
+    struct = struct_bytes(net)
+    rows = [
+        ["two-input nodes", net.node_count()],
+        ["in-line expansion", f"{inline / 1_000_000:.2f} MB"],
+        ["14-byte struct encoding", f"{struct / 1000:.1f} KB"],
+        ["partitions to fit 10 KB (inline)",
+         partitions_needed(net, 10_000, "inline")],
+        ["partitions to fit 10 KB (struct)",
+         partitions_needed(net, 10_000, "struct")],
+        ["partitions to fit 20 KB (struct)",
+         partitions_needed(net, 20_000, "struct")],
+    ]
+    report("memory_footprint", format_table(
+        ["quantity", "value"], rows,
+        title="Section 3.1: ~1000-production program vs 10-20 KB local "
+              "memories"))
+
+    # The paper's 1-2 MB figure for in-line expansion.
+    assert 1_000_000 <= inline <= 2_000_000
+    # The struct encoding brings the program within a handful of
+    # partitions of a 10-20 KB local memory.
+    assert partitions_needed(net, 10_000, "struct") <= 8
+    assert partitions_needed(net, 20_000, "struct") <= 3
+    # Without it, in-line code would need hundreds of partitions.
+    assert partitions_needed(net, 10_000, "inline") > 100
+
+
+def test_partitioning_contention_rule(benchmark, report):
+    """Nodes of one production land in different partitions; the
+    partitions stay balanced."""
+    def run():
+        net = thousand_production_network()
+        return net, partition_nodes(net, 32)
+
+    net, result = once(benchmark, run)
+    sizes = result.partition_sizes()
+    report("memory_partitioning", format_table(
+        ["metric", "value"],
+        [["partitions", result.n_partitions],
+         ["min size", min(sizes)],
+         ["max size", max(sizes)],
+         ["conflicted productions", len(result.conflicted_productions)]],
+        title="Greedy node partitioning over 32 partitions"))
+
+    assert result.conflicted_productions == []
+    assert max(sizes) - min(sizes) <= 2
+    for name, node_ids in net.production_nodes.items():
+        partitions = [result.assignment[n] for n in node_ids]
+        assert len(set(partitions)) == len(partitions)

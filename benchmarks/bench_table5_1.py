@@ -1,0 +1,30 @@
+"""Table 5-1: breakdown of message-processing overheads into send and
+receive times.
+
+A parameter table — the bench verifies our OverheadModel instances
+reproduce it exactly and regenerates the printed rows.
+"""
+
+from conftest import once
+from repro.analysis import format_table
+from repro.mpc import TABLE_5_1, table_5_1_rows
+
+
+def test_table5_1(benchmark, report):
+    rows = once(benchmark, table_5_1_rows)
+    text = format_table(
+        ["Runs", "Send overhead (us)", "Receive overhead (us)",
+         "Total overhead (us)"],
+        rows,
+        title="Table 5-1: message-processing overheads")
+    report("table5_1", text)
+
+    assert rows == [
+        ("Run 1", 0.0, 0.0, 0.0),
+        ("Run 2", 5.0, 3.0, 8.0),
+        ("Run 3", 10.0, 6.0, 16.0),
+        ("Run 4", 20.0, 12.0, 32.0),
+    ]
+    # The interconnection network latency is the Nectar group's 0.5 us
+    # in every run of the paper.
+    assert all(m.latency_us == 0.5 for m in TABLE_5_1)

@@ -1,0 +1,41 @@
+"""Table 5-2: tokens in the sections of the three programs.
+
+Paper:  Rubik   2388 left (28%)   6114 right (72%)   8502 total
+        Tourney 10667 left (99%)    83 right (1%)   10750 total
+        Weaver    338 left (81%)    78 right (19%)    416 total
+
+Our synthetic sections must reproduce these counts *exactly* — they are
+the inputs every other experiment depends on.
+"""
+
+from conftest import once
+from repro.analysis import format_table
+
+EXPECTED = {
+    "rubik": (2388, 6114, 8502, 28),
+    "tourney": (10667, 83, 10750, 99),
+    "weaver": (338, 78, 416, 81),
+}
+
+
+def test_table5_2(benchmark, sections, report):
+    stats = once(benchmark,
+                 lambda: {t.name: t.stats() for t in sections})
+
+    rows = []
+    for name in ("rubik", "tourney", "weaver"):
+        s = stats[name]
+        lf = round(100 * s.left_fraction)
+        rows.append([name.capitalize(), f"{s.left} ({lf}%)",
+                     f"{s.right} ({100 - lf}%)", s.total])
+    report("table5_2", format_table(
+        ["Program", "Left activations", "Right activations",
+         "Total activations"], rows,
+        title="Table 5-2: tokens in the sections of the three programs"))
+
+    for name, (left, right, total, left_pct) in EXPECTED.items():
+        s = stats[name]
+        assert s.left == left, name
+        assert s.right == right, name
+        assert s.total == total, name
+        assert round(100 * s.left_fraction) == left_pct, name

@@ -1,0 +1,68 @@
+"""Section 4 (future work): impact of termination-detection schemes.
+
+The paper explicitly does not simulate termination detection and defers
+"investigations of the impacts of the various termination detection
+schemes on our implementation and the selection of the most suitable
+scheme" to future work.  This bench performs that investigation with
+the classic schemes priced on the Table 5-1 overheads.
+"""
+
+import pytest
+
+from conftest import once
+from repro.analysis import format_table
+from repro.mpc import (TABLE_5_1, TerminationScheme, apply_termination,
+                       simulate, speedup, termination_overhead_fraction)
+
+PROCS = 32
+OVH = TABLE_5_1[1]
+
+
+def test_termination_schemes(benchmark, sections, bases, report):
+    def run():
+        rows = []
+        for trace in sections:
+            base = bases[trace.name]
+            plain = simulate(trace, n_procs=PROCS, overheads=OVH)
+            row = [trace.name]
+            for scheme in TerminationScheme:
+                augmented = apply_termination(plain, scheme, OVH)
+                row.append(speedup(base, augmented))
+            rows.append(row)
+        return rows
+
+    rows = once(benchmark, run)
+    report("termination", format_table(
+        ["section"] + [s.value for s in TerminationScheme],
+        rows,
+        title=f"Termination-detection impact at {PROCS} processors, "
+              f"{OVH.label()} overheads (speedups)"))
+
+    for row in rows:
+        name, ideal, barrier, ring, tree = row
+        # Every real scheme costs something; none is catastrophic.
+        assert barrier <= ideal and ring <= ideal and tree <= ideal
+        assert min(barrier, ring, tree) > 0.75 * ideal, name
+        # Ring is the slowest of the three at 32 processors; the tree
+        # and the barrier contend for the best spot.
+        assert ring <= min(barrier, tree) + 1e-9, name
+
+
+def test_weaver_suffers_most(benchmark, sections, bases, report):
+    """Small cycles amortize detection worst: Weaver's many short
+    cycles pay the per-cycle delay over the least work."""
+    def run():
+        out = {}
+        for trace in sections:
+            plain = simulate(trace, n_procs=PROCS, overheads=OVH)
+            out[trace.name] = termination_overhead_fraction(
+                plain, TerminationScheme.RING, OVH)
+        return out
+
+    fractions = once(benchmark, run)
+    report("termination_fractions",
+           "Fraction of section time spent in ring termination "
+           "detection\n" +
+           "\n".join(f"  {n:<8} {f:.1%}" for n, f in fractions.items()))
+    assert fractions["weaver"] > fractions["rubik"]
+    assert fractions["weaver"] > fractions["tourney"]

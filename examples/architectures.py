@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Every simulated architecture, side by side.
+
+The paper positions its distributed-hash-table MPC mapping relative to
+several alternatives; this repository implements all of them on the
+same cost model:
+
+* the distributed mapping of Section 3.2 (the paper's subject),
+* the processor-pair base mapping of Section 3.1,
+* the shared-bus implementation it is compared against (Section 5.2),
+* the two Section 6 continuum extremes (replicated / master copy),
+* with and without termination detection (Section 4 future work).
+
+Run:  python examples/architectures.py [section]
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro.mpc import (TABLE_5_1, TerminationScheme, apply_termination,
+                       simulate, simulate_base, simulate_master_copy,
+                       simulate_pairs, simulate_replicated,
+                       simulate_shared_bus, speedup)
+from repro.workloads import rubik_section, tourney_section, weaver_section
+
+SECTIONS = {"rubik": rubik_section, "tourney": tourney_section,
+            "weaver": weaver_section}
+PROCS = [4, 8, 16, 32]
+OVH = TABLE_5_1[1]  # the 8us Nectar-like setting
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "rubik"
+    if name not in SECTIONS:
+        raise SystemExit(f"unknown section {name!r}; "
+                         f"choose from {sorted(SECTIONS)}")
+    trace = SECTIONS[name]()
+    base = simulate_base(trace)
+    print(f"section: {trace.name}   "
+          f"base time (1 proc, no overheads): "
+          f"{base.total_us / 1000:.1f} ms\n")
+
+    rows = []
+    for p in PROCS:
+        distributed = simulate(trace, n_procs=p, overheads=OVH)
+        rows.append([
+            p,
+            speedup(base, distributed),
+            speedup(base, simulate_pairs(trace, n_pairs=max(1, p // 2),
+                                         overheads=OVH)),
+            speedup(base, simulate_shared_bus(trace, n_procs=p)),
+            speedup(base, simulate_replicated(trace, p, overheads=OVH)),
+            speedup(base, simulate_master_copy(trace, p,
+                                               overheads=OVH)),
+            speedup(base, apply_termination(
+                distributed, TerminationScheme.TREE, OVH)),
+        ])
+    print(format_table(
+        ["procs", "distributed", "pairs (P/2x2)", "shared bus",
+         "replicated", "master copy", "distrib+tree-term"],
+        rows,
+        title=f"Speedups at {OVH.label()} message overhead"))
+
+    print("""
+reading guide:
+  distributed   the paper's mapping (Fig 3-3): hash-partitioned buckets
+  pairs         the base mapping (Fig 3-2): P/2 pairs = P CPUs,
+                store and match overlap, intra-pair forwards cost
+  shared bus    the Encore baseline: central task queues, no partitions
+  replicated    Section 6 extreme: every store applied on every CPU
+  master copy   Section 6 extreme: one CPU owns the hash table
+  +tree-term    distributed plus a combining-tree termination detector
+""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""A bigger blocks-world expert system, end to end.
+
+Builds an N-block tower-flattening problem, runs it under both the
+naive matcher and Rete (verifying they agree), then records the trace
+and compares simulated match time across machine sizes and overheads —
+a miniature of the paper's whole methodology on a live program.
+
+Run:  python examples/blocks_world.py [n_blocks]
+"""
+
+import sys
+
+from repro.ops5 import Interpreter, NaiveMatcher, parse_program
+from repro.rete import ReteNetwork
+from repro.trace import TraceRecorder
+from repro.mpc import TABLE_5_1, simulate, simulate_base, speedup
+
+RULES = """
+(p unstack-clear-block
+  (goal ^want flat)
+  (block ^name <top> ^on { <below> <> table } ^clear yes)
+  (block ^name <below>)
+  -->
+  (modify 2 ^on table)
+  (modify 3 ^clear yes))
+
+(p declare-victory
+  (goal ^want flat)
+  -(block ^on { <other> <> table })
+  -->
+  (remove 1)
+  (write tower flattened (crlf)))
+"""
+
+
+def build_program(n_blocks: int) -> str:
+    """A single tower of n blocks: b1 on b2 on ... on table."""
+    makes = ["(make goal ^want flat)"]
+    for i in range(1, n_blocks + 1):
+        below = f"b{i + 1}" if i < n_blocks else "table"
+        clear = "yes" if i == 1 else "no"
+        makes.append(
+            f"(make block ^name b{i} ^on {below} ^clear {clear})")
+    return f"(startup {' '.join(makes)})\n{RULES}"
+
+
+def run_with(matcher, source):
+    interp = Interpreter(matcher=matcher)
+    recorder = None
+    if isinstance(matcher, ReteNetwork):
+        recorder = TraceRecorder(matcher)
+        recorder.attach(interp)
+    interp.load_program(parse_program(source))
+    result = interp.run(max_cycles=10_000)
+    return result, recorder
+
+
+def main() -> None:
+    n_blocks = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    source = build_program(n_blocks)
+
+    naive_result, _ = run_with(NaiveMatcher(), source)
+    rete_result, recorder = run_with(ReteNetwork(), source)
+
+    naive_names = [f.production_name for f in naive_result.firings]
+    rete_names = [f.production_name for f in rete_result.firings]
+    assert naive_names == rete_names, "matchers disagree!"
+    print(f"{n_blocks}-block tower flattened in "
+          f"{rete_result.cycles} firings "
+          f"(naive and Rete matchers agree)\n")
+
+    trace = recorder.section("blocks-world", drop_setup_cycle=True)
+    stats = trace.stats()
+    print("hash-table activity: " + stats.row("blocks"))
+    print()
+
+    base = simulate_base(trace)
+    print(f"{'procs':>5} " + " ".join(
+        f"{f'{m.total_us:g}us ovh':>12}" for m in TABLE_5_1))
+    for n_procs in (1, 2, 4, 8, 16):
+        row = [f"{n_procs:>5}"]
+        for overheads in TABLE_5_1:
+            run = simulate(trace, n_procs=n_procs, overheads=overheads)
+            row.append(f"{speedup(base, run):>11.2f}x")
+        print(" ".join(row))
+    print("\n(small cycles dominate a serial planner like this, so "
+          "speedups stay modest -- the paper's Weaver effect)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Regenerate every figure and table of the paper's evaluation section
+in one run, as ASCII tables and plots.
+
+This drives the same code as the benchmark harness (benchmarks/), but
+as a plain script with everything on stdout.
+
+Run:  python examples/paper_figures.py            # all figures
+      python examples/paper_figures.py fig5_2     # one of them
+"""
+
+import sys
+
+from repro.analysis import (aggregate, alternation_score, bar_chart,
+                            curve_plot, format_table)
+from repro.mpc import (TABLE_5_1, overhead_sweep, simulate, speedup_curve,
+                       speedup_loss, table_5_1_rows)
+from repro.trace import copy_and_constraint_trace, unshare_trace
+from repro.workloads import rubik_section, tourney_section, weaver_section
+from repro.workloads.rubik import FIG_5_5_PROCS
+from repro.workloads.tourney import CP_NODE
+from repro.workloads.weaver import HOT_NODE
+
+PROCS = [1, 2, 4, 8, 16, 24, 32]
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def fig5_1(sections) -> None:
+    banner("Figure 5-1: speedups with zero message-passing overheads")
+    curves = [speedup_curve(t, PROCS, label=t.name) for t in sections]
+    rows = [[p] + [c.speedups[i] for c in curves]
+            for i, p in enumerate(PROCS)]
+    print(format_table(["procs"] + [c.label for c in curves], rows))
+    print()
+    print(curve_plot(PROCS, [c.speedups for c in curves],
+                     [c.label for c in curves]))
+
+
+def table5_1(sections) -> None:
+    banner("Table 5-1: message-processing overheads")
+    print(format_table(
+        ["Runs", "Send (us)", "Receive (us)", "Total (us)"],
+        table_5_1_rows()))
+
+
+def fig5_2(sections) -> None:
+    for trace in sections:
+        banner(f"Figure 5-2 ({trace.name}): speedups with varying "
+               f"overheads")
+        curves = overhead_sweep(trace, proc_counts=PROCS)
+        labels = [c.label.split("@")[1] for c in curves]
+        rows = [[p] + [c.speedups[i] for c in curves]
+                for i, p in enumerate(PROCS)]
+        print(format_table(["procs"] + labels, rows))
+        loss = speedup_loss(curves[0], curves[3])
+        print(f"\npeak-speedup loss at 32us total overhead: {loss:.0%}")
+
+
+def table5_2(sections) -> None:
+    banner("Table 5-2: tokens in the sections of the three programs")
+    print(f"{'Program':<10} {'Left activations':>18} "
+          f"{'Right activations':>19} {'Total':>8}")
+    for trace in sections:
+        print(trace.stats().row(trace.name))
+
+
+def fig5_4(sections) -> None:
+    banner("Figure 5-4: Weaver speedups with unsharing")
+    weaver = sections[2]
+    unshared = unshare_trace(weaver, node_ids=[HOT_NODE])
+    baseline = speedup_curve(weaver, PROCS, label="shared")
+    transformed = speedup_curve(unshared, PROCS, label="unshared")
+    rows = [[p, baseline.speedups[i], transformed.speedups[i]]
+            for i, p in enumerate(PROCS)]
+    print(format_table(["procs", "shared", "unshared"], rows))
+    print()
+    print(curve_plot(PROCS, [baseline.speedups, transformed.speedups],
+                     ["shared", "unshared"]))
+
+
+def fig5_5(sections) -> None:
+    banner(f"Figure 5-5: left-token distribution over "
+           f"{FIG_5_5_PROCS} processors (Rubik)")
+    run = simulate(sections[0], n_procs=FIG_5_5_PROCS)
+    labels = [f"p{p}" for p in range(FIG_5_5_PROCS)]
+    c1 = run.cycles[0].proc_left_activations
+    c2 = run.cycles[1].proc_left_activations
+    print(bar_chart(c1, labels, title="cycle 1"))
+    print()
+    print(bar_chart(c2, labels, title="cycle 2"))
+    print(f"\nalternation (anti-correlation): "
+          f"{alternation_score(c1, c2):.2f}")
+    total = aggregate([c.proc_left_activations for c in run.cycles])
+    print()
+    print(bar_chart(total, labels, title="aggregate over the section"))
+
+
+def fig5_6(sections) -> None:
+    banner("Figure 5-6: Tourney speedups with copy and constraint")
+    tourney = sections[1]
+    cc = copy_and_constraint_trace(tourney, CP_NODE, 4)
+    baseline = speedup_curve(tourney, PROCS, label="baseline")
+    transformed = speedup_curve(cc, PROCS, label="copy+constraint")
+    rows = [[p, baseline.speedups[i], transformed.speedups[i]]
+            for i, p in enumerate(PROCS)]
+    print(format_table(["procs", "baseline", "copy+constraint"], rows))
+
+
+FIGURES = {
+    "fig5_1": fig5_1,
+    "table5_1": table5_1,
+    "fig5_2": fig5_2,
+    "table5_2": table5_2,
+    "fig5_4": fig5_4,
+    "fig5_5": fig5_5,
+    "fig5_6": fig5_6,
+}
+
+
+def main() -> None:
+    wanted = sys.argv[1:] or list(FIGURES)
+    unknown = [w for w in wanted if w not in FIGURES]
+    if unknown:
+        raise SystemExit(f"unknown figure(s) {unknown}; "
+                         f"choose from {sorted(FIGURES)}")
+    print("building the three characteristic sections...")
+    sections = [rubik_section(), tourney_section(), weaver_section()]
+    for name in wanted:
+        FIGURES[name](sections)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro — reproduction of "Implementation of Production Systems on
+Message-Passing Computers" (Tambe, Acharya & Gupta, CMU-CS-89-129 /
+ICPP 1989).
+
+Layers, bottom-up:
+
+* :mod:`repro.ops5` — the OPS5 language subset and MRA interpreter.
+* :mod:`repro.rete` — the Rete match engine with the paper's global
+  hashed memories, plus network/source transformations.
+* :mod:`repro.trace` — hash-table activity traces (Fig 4-1): recording,
+  serialization, validation and trace-level transformations.
+* :mod:`repro.mpc` — the discrete-event simulator of the Section 3.2
+  mapping, with the Section 4 cost model, Table 5-1 overheads and the
+  bucket distribution strategies of Section 5.2.2.
+* :mod:`repro.workloads` — the Rubik/Tourney/Weaver characteristic
+  sections (synthetic, Table 5-2-exact) and real OPS5 demo programs.
+* :mod:`repro.analysis` — the probabilistic bucket model, load metrics
+  and report formatting.
+
+Thirty-second tour::
+
+    from repro.workloads import rubik_section
+    from repro.mpc import simulate, simulate_base, speedup, TABLE_5_1
+
+    trace = rubik_section()
+    base = simulate_base(trace)
+    run = simulate(trace, n_procs=32, overheads=TABLE_5_1[1])
+    print(f"{speedup(base, run):.1f}x on 32 processors")
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, mpc, ops5, rete, trace, workloads
+
+__all__ = ["analysis", "mpc", "ops5", "rete", "trace", "workloads",
+           "__version__"]

@@ -1,0 +1,179 @@
+"""Trace diagnostics: detect the paper's speedup limiters automatically.
+
+Section 5.2 identifies four phenomena by inspecting traces by hand:
+
+* **small cycles** — cycles with ≲100 tokens, which "limit speedups"
+  (Section 5.2.1);
+* **bottleneck generators** — a few activations generating most of a
+  cycle's tokens (Weaver's 3-of-150), fixable by unsharing or dummy
+  nodes;
+* **cross-products with no hashing** — a node whose equality-test list
+  is empty funnels every token into one bucket (Tourney), fixable by
+  copy-and-constraint;
+* **the multiple-modify effect** — alternating delete/add streams into
+  one bucket caused by modify actions.
+
+:func:`diagnose` runs all detectors over a section trace and returns
+:class:`Finding` records with the paper's recommended remedy, so the
+whole Section 5.2 methodology is executable::
+
+    for finding in diagnose(trace):
+        print(finding)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..rete.hashing import BucketKey
+from ..trace.events import SectionTrace
+
+#: "Small cycles are those with few (100 or less) tokens in them."
+SMALL_CYCLE_TOKENS = 100
+
+#: A generator is a bottleneck when this fraction of a cycle's
+#: activations flows from it (3 activations making 120 of 150 ≈ 0.8 of
+#: the generated tokens from 2% of the activations).
+BOTTLENECK_SHARE = 0.5
+
+#: Minimum activations in one bucket of one cycle to call it a hot
+#: (non-discriminating) bucket.
+HOT_BUCKET_TOKENS = 50
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected phenomenon with its paper-recommended remedy."""
+
+    kind: str            # "small-cycle" | "bottleneck-generator" |
+    #                      "cross-product" | "multiple-modify"
+    cycle_index: int     # -1 for section-wide findings
+    node_id: int         # -1 when not tied to a node
+    detail: str
+    remedy: str
+
+    def __str__(self) -> str:
+        where = (f"cycle {self.cycle_index}" if self.cycle_index >= 0
+                 else "section")
+        node = f", node {self.node_id}" if self.node_id >= 0 else ""
+        return f"[{self.kind}] {where}{node}: {self.detail} " \
+               f"-> {self.remedy}"
+
+
+def find_small_cycles(trace: SectionTrace,
+                      threshold: int = SMALL_CYCLE_TOKENS
+                      ) -> List[Finding]:
+    """Cycles with at most *threshold* two-input tokens."""
+    findings = []
+    for cycle in trace:
+        n = len(cycle.two_input_activations())
+        if 0 < n <= threshold:
+            findings.append(Finding(
+                kind="small-cycle", cycle_index=cycle.index, node_id=-1,
+                detail=f"{n} tokens",
+                remedy="process the affected productions on a single "
+                       "processor to avoid communication overheads "
+                       "(Section 5.2.1)"))
+    return findings
+
+
+def find_bottleneck_generators(trace: SectionTrace,
+                               share: float = BOTTLENECK_SHARE
+                               ) -> List[Finding]:
+    """Nodes whose few activations generate most of a cycle's tokens."""
+    findings = []
+    for cycle in trace:
+        total_generated = sum(a.n_successors
+                              for a in cycle.two_input_activations())
+        if total_generated == 0:
+            continue
+        by_node: Dict[int, Tuple[int, int]] = {}
+        for act in cycle.two_input_activations():
+            count, generated = by_node.get(act.node_id, (0, 0))
+            by_node[act.node_id] = (count + 1,
+                                    generated + act.n_successors)
+        n_acts = len(cycle.two_input_activations())
+        for node_id, (count, generated) in sorted(by_node.items()):
+            if generated >= share * total_generated \
+                    and count <= max(3, n_acts // 10):
+                findings.append(Finding(
+                    kind="bottleneck-generator",
+                    cycle_index=cycle.index, node_id=node_id,
+                    detail=f"{count} activations generate {generated} "
+                           f"of {total_generated} tokens",
+                    remedy="unshare the node, or insert dummy nodes, "
+                           "or apply copy-and-constraint "
+                           "(Section 5.2.1)"))
+    return findings
+
+
+def find_cross_products(trace: SectionTrace,
+                        threshold: int = HOT_BUCKET_TOKENS
+                        ) -> List[Finding]:
+    """Buckets absorbing many tokens in one cycle.
+
+    A valueless bucket key means the node tests no variable — the
+    hashing scheme cannot discriminate at all (Tourney's case); keys
+    with values can still be hot when the data lacks variety.
+    """
+    findings = []
+    for cycle in trace:
+        per_bucket: Dict[BucketKey, int] = {}
+        for act in cycle.two_input_activations():
+            per_bucket[act.key] = per_bucket.get(act.key, 0) + 1
+        for key, count in sorted(per_bucket.items(),
+                                 key=lambda kv: -kv[1]):
+            if count < threshold:
+                break
+            no_hash = not key.values
+            findings.append(Finding(
+                kind="cross-product", cycle_index=cycle.index,
+                node_id=key.node_id,
+                detail=f"{count} tokens in one bucket"
+                       + (" (no variable tested: no hashing "
+                          "discrimination)" if no_hash else ""),
+                remedy="apply copy-and-constraint to split the culprit "
+                       "production (Section 5.2.2)"))
+    return findings
+
+
+def find_multiple_modify(trace: SectionTrace,
+                         min_pairs: int = 10) -> List[Finding]:
+    """Buckets receiving interleaved delete/add streams.
+
+    The signature of the multiple-modify effect: within one cycle, one
+    bucket sees many deletes each (re)followed by adds.
+    """
+    findings = []
+    for cycle in trace:
+        tags: Dict[BucketKey, List[str]] = {}
+        for act in cycle.two_input_activations():
+            tags.setdefault(act.key, []).append(act.tag)
+        for key, stream in sorted(tags.items()):
+            deletes = stream.count("-")
+            adds = stream.count("+")
+            flips = sum(1 for a, b in zip(stream, stream[1:])
+                        if a != b)
+            if deletes >= min_pairs and adds >= min_pairs \
+                    and flips >= min_pairs:
+                findings.append(Finding(
+                    kind="multiple-modify", cycle_index=cycle.index,
+                    node_id=key.node_id,
+                    detail=f"{adds} adds / {deletes} deletes "
+                           f"interleaved ({flips} alternations) in one "
+                           f"bucket",
+                    remedy="a modify storm on wmes matching one "
+                           "production; consider restructuring the "
+                           "modifies (Section 5.2.2)"))
+    return findings
+
+
+def diagnose(trace: SectionTrace) -> List[Finding]:
+    """Run every detector, ordered by cycle then kind."""
+    findings = (find_small_cycles(trace)
+                + find_bottleneck_generators(trace)
+                + find_cross_products(trace)
+                + find_multiple_modify(trace))
+    return sorted(findings,
+                  key=lambda f: (f.cycle_index, f.kind, f.node_id))

@@ -1,0 +1,152 @@
+"""The probabilistic model of active-bucket distribution (Section 5.2.2).
+
+The paper builds "a simple probabilistic model" after random bucket
+distribution fails to beat round robin: assume a fraction of the buckets
+are *active*, each active bucket receives a single activation, and
+buckets land on processors uniformly at random.  Three conclusions are
+drawn:
+
+1. Both a completely even and a totally uneven distribution are very
+   unlikely (< 1%); the typical outcome is in between.
+2. Increasing the number of active buckets (same processor count) makes
+   even distributions more likely — why the numerous right buckets
+   spread well.
+3. Increasing the number of processors makes uneven distributions more
+   likely — part of why speedups stop scaling.
+
+This module provides the exact probabilities where tractable and a
+seeded Monte Carlo estimator for the rest (expected maximum load, which
+determines the cycle makespan under the model).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+
+def prob_perfectly_even(m: int, p: int) -> float:
+    """P(every processor receives exactly m/p of the m active buckets).
+
+    Zero when p does not divide m.  Computed in log space: the
+    multinomial count m! / ((m/p)!)^p over p^m equally likely
+    assignments.
+    """
+    _check(m, p)
+    if m % p != 0:
+        return 0.0
+    q = m // p
+    log_prob = (math.lgamma(m + 1) - p * math.lgamma(q + 1)
+                - m * math.log(p))
+    return math.exp(log_prob)
+
+
+def prob_all_on_one(m: int, p: int) -> float:
+    """P(all m active buckets land on a single processor): p^(1-m)."""
+    _check(m, p)
+    if p == 1:
+        return 1.0
+    return float(p) ** (1 - m)
+
+
+def expected_max_load(m: int, p: int, trials: int = 2000,
+                      seed: int = 0) -> float:
+    """E[max processor load] when m buckets fall uniformly on p procs.
+
+    Exact by enumeration for tiny (m, p); Monte Carlo with a seeded RNG
+    otherwise.  The max load is the model's cycle makespan (all active
+    buckets carry one activation each), so
+    ``expected_max_load / (m / p)`` is the slowdown versus a perfectly
+    even distribution.
+    """
+    _check(m, p)
+    if p == 1:
+        return float(m)
+    if p ** m <= 200_000:
+        return _exact_expected_max(m, p)
+    rng = random.Random(seed)
+    total = 0
+    for _ in range(trials):
+        loads = [0] * p
+        for _ in range(m):
+            loads[rng.randrange(p)] += 1
+        total += max(loads)
+    return total / trials
+
+
+def _exact_expected_max(m: int, p: int) -> float:
+    """Exact E[max] via P(max <= k) from multinomial enumeration.
+
+    Uses the standard recursion over processors with bounded loads.
+    """
+    def prob_max_at_most(k: int) -> float:
+        # Count assignments where every processor load <= k, via DP on
+        # (processors used, buckets placed) with multinomial weights.
+        # dp[j] = number of weighted ways to fill some processors with j
+        # buckets, divided by j! (exponential generating function).
+        dp = [0.0] * (m + 1)
+        dp[0] = 1.0
+        for _ in range(p):
+            new = [0.0] * (m + 1)
+            for placed in range(m + 1):
+                if dp[placed] == 0.0:
+                    continue
+                for load in range(0, min(k, m - placed) + 1):
+                    new[placed + load] += dp[placed] / math.factorial(load)
+            dp = new
+        return dp[m] * math.factorial(m) / (p ** m)
+
+    expected = 0.0
+    prev = 0.0
+    for k in range(1, m + 1):
+        cdf = prob_max_at_most(k)
+        expected += k * (cdf - prev)
+        prev = cdf
+        if cdf >= 1.0 - 1e-12:
+            break
+    return expected
+
+
+def imbalance_factor(m: int, p: int, trials: int = 2000,
+                     seed: int = 0) -> float:
+    """E[max load] / (m/p): the model's predicted slowdown vs perfect.
+
+    1.0 means linear speedup is possible; larger means the busiest
+    processor serializes the cycle.
+    """
+    return expected_max_load(m, p, trials=trials, seed=seed) / (m / p)
+
+
+@dataclass(frozen=True)
+class BucketModel:
+    """The Section 5.2.2 model for a given (active buckets, processors).
+
+    Convenience wrapper bundling the quantities the paper's three
+    conclusions are about.
+    """
+
+    active_buckets: int
+    processors: int
+
+    def p_even(self) -> float:
+        return prob_perfectly_even(self.active_buckets, self.processors)
+
+    def p_all_on_one(self) -> float:
+        return prob_all_on_one(self.active_buckets, self.processors)
+
+    def e_max_load(self, trials: int = 2000, seed: int = 0) -> float:
+        return expected_max_load(self.active_buckets, self.processors,
+                                 trials=trials, seed=seed)
+
+    def imbalance(self, trials: int = 2000, seed: int = 0) -> float:
+        return imbalance_factor(self.active_buckets, self.processors,
+                                trials=trials, seed=seed)
+
+
+def _check(m: int, p: int) -> None:
+    if m < 1:
+        raise ValueError("need at least one active bucket")
+    if p < 1:
+        raise ValueError("need at least one processor")

@@ -1,0 +1,71 @@
+"""Load-distribution metrics over per-processor activation counts.
+
+Used to quantify the Figure 5-5 phenomena: unevenness within a cycle,
+the busy/idle alternation between consecutive cycles, and the rough
+evenness of the aggregate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+
+def mean(loads: Sequence[float]) -> float:
+    """Arithmetic mean (0 for empty input)."""
+    return sum(loads) / len(loads) if loads else 0.0
+
+
+def variance(loads: Sequence[float]) -> float:
+    """Population variance of the loads."""
+    if not loads:
+        return 0.0
+    mu = mean(loads)
+    return sum((x - mu) ** 2 for x in loads) / len(loads)
+
+
+def coefficient_of_variation(loads: Sequence[float]) -> float:
+    """Std-dev over mean: scale-free unevenness (0 = perfectly even)."""
+    mu = mean(loads)
+    if mu == 0:
+        return 0.0
+    return math.sqrt(variance(loads)) / mu
+
+
+def max_over_mean(loads: Sequence[float]) -> float:
+    """Busiest processor relative to average: the makespan inflation a
+    static distribution causes (1.0 = perfectly balanced)."""
+    mu = mean(loads)
+    if mu == 0:
+        return 1.0
+    return max(loads) / mu
+
+
+def alternation_score(cycle_a: Sequence[float],
+                      cycle_b: Sequence[float]) -> float:
+    """How anti-correlated two cycles' per-processor loads are.
+
+    Returns the negated Pearson correlation, so *positive* values mean
+    the paper's "processors busy in one cycle are idle in the next".
+    Returns 0.0 when either cycle is constant.
+    """
+    if len(cycle_a) != len(cycle_b):
+        raise ValueError("cycles must cover the same processors")
+    va, vb = variance(cycle_a), variance(cycle_b)
+    if va == 0 or vb == 0:
+        return 0.0
+    mu_a, mu_b = mean(cycle_a), mean(cycle_b)
+    cov = sum((a - mu_a) * (b - mu_b)
+              for a, b in zip(cycle_a, cycle_b)) / len(cycle_a)
+    return -cov / math.sqrt(va * vb)
+
+
+def aggregate(cycles: Sequence[Sequence[float]]) -> List[float]:
+    """Per-processor loads summed over cycles (Fig 5-5's 'aggregated
+    distribution')."""
+    if not cycles:
+        return []
+    n = len(cycles[0])
+    if any(len(c) != n for c in cycles):
+        raise ValueError("cycles must cover the same processors")
+    return [sum(c[p] for c in cycles) for p in range(n)]

@@ -1,0 +1,87 @@
+"""ASCII report formatting shared by the benchmark harness and examples.
+
+Every figure/table of the paper is regenerated as text: speedup curves
+as aligned columns, the Figure 5-5 token distribution as a horizontal
+bar chart, Table rows as fixed-width lines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width table with right-aligned numeric-ish columns."""
+    cells = [[str(h) for h in headers]] + \
+            [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def bar_chart(values: Sequence[float], labels: Optional[Sequence[str]]
+              = None, width: int = 50, title: str = "") -> str:
+    """Horizontal ASCII bar chart (Figure 5-5 style).
+
+    One row per value; bars scaled to *width* characters at the maximum.
+    """
+    if labels is None:
+        labels = [str(i) for i in range(len(values))]
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    peak = max(values) if values else 0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_w = max((len(l) for l in labels), default=0)
+    for label, value in zip(labels, values):
+        n = int(round(width * value / peak)) if peak > 0 else 0
+        lines.append(f"{label.rjust(label_w)} |{'#' * n} {value:g}")
+    return "\n".join(lines)
+
+
+def curve_plot(proc_counts: Sequence[int],
+               series: Sequence[Sequence[float]],
+               labels: Sequence[str], height: int = 16,
+               title: str = "") -> str:
+    """Rough ASCII line plot of speedup-vs-processors curves.
+
+    Good enough to eyeball the shapes of Figures 5-1/5-2/5-4/5-6 in a
+    terminal; the precise numbers accompany it via format_table.
+    """
+    if not series or not proc_counts:
+        return title
+    peak = max(max(s) for s in series)
+    rows: List[str] = []
+    markers = "ox+*#@"
+    grid = [[" "] * len(proc_counts) for _ in range(height)]
+    for si, s in enumerate(series):
+        for xi, value in enumerate(s):
+            yi = height - 1 - int(round((height - 1) * value / peak))
+            yi = min(max(yi, 0), height - 1)
+            grid[yi][xi] = markers[si % len(markers)]
+    lines = [title] if title else []
+    for yi, row in enumerate(grid):
+        axis_value = peak * (height - 1 - yi) / (height - 1)
+        lines.append(f"{axis_value:6.1f} | " + "  ".join(row))
+    lines.append(" " * 7 + "+-" + "-" * (3 * len(proc_counts) - 2))
+    lines.append(" " * 9 + " ".join(f"{p:>2}" for p in proc_counts))
+    legend = "  ".join(f"{markers[i % len(markers)]}={label}"
+                       for i, label in enumerate(labels))
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,274 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``sections``
+    Print the Table 5-2 statistics of the three characteristic sections.
+``simulate``
+    Simulate a section (or a trace file) on an MPC and print speedups.
+``figures``
+    Regenerate paper figures (same as ``examples/paper_figures.py``).
+``trace``
+    Generate a section trace and write it in the Fig 4-1 text format.
+``run``
+    Execute an OPS5 source file on the Rete engine.
+
+Examples
+--------
+::
+
+    python -m repro sections
+    python -m repro simulate --section rubik --procs 1 8 32 --overhead 8
+    python -m repro trace --section weaver --out weaver.trace
+    python -m repro simulate --trace-file weaver.trace --procs 16
+    python -m repro run my_program.ops --max-cycles 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import format_table
+from .mpc import TABLE_5_1, simulate, simulate_base, speedup
+from .trace import read_trace, save_trace, validate_trace
+from .workloads import rubik_section, tourney_section, weaver_section
+
+SECTIONS = {
+    "rubik": rubik_section,
+    "tourney": tourney_section,
+    "weaver": weaver_section,
+}
+
+OVERHEADS = {int(m.total_us): m for m in TABLE_5_1}
+
+
+def _load_trace(args):
+    if getattr(args, "trace_file", None):
+        trace = read_trace(args.trace_file)
+        validate_trace(trace)
+        return trace
+    return SECTIONS[args.section](args.seed)
+
+
+def cmd_sections(args) -> int:
+    rows = []
+    for name, build in SECTIONS.items():
+        stats = build(args.seed).stats()
+        lf = round(100 * stats.left_fraction)
+        rows.append([name, f"{stats.left} ({lf}%)",
+                     f"{stats.right} ({100 - lf}%)", stats.total])
+    print(format_table(
+        ["section", "left", "right", "total"], rows,
+        title="Characteristic sections (paper Table 5-2)"))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    trace = _load_trace(args)
+    overheads = OVERHEADS.get(args.overhead)
+    if overheads is None:
+        print(f"error: --overhead must be one of "
+              f"{sorted(OVERHEADS)}", file=sys.stderr)
+        return 2
+    base = simulate_base(trace)
+    rows = []
+    for n_procs in args.procs:
+        run = simulate(trace, n_procs=n_procs, overheads=overheads)
+        rows.append([n_procs, f"{run.total_us / 1000:.2f}",
+                     f"{speedup(base, run):.2f}x", run.n_messages,
+                     f"{run.network_idle_fraction():.1%}"])
+    print(format_table(
+        ["procs", "time (ms)", "speedup", "messages", "net idle"], rows,
+        title=f"{trace.name}: base (1 proc, 0 overhead) = "
+              f"{base.total_us / 1000:.2f} ms; "
+              f"overheads {overheads.label()}"))
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    from .analysis import diagnose
+    trace = _load_trace(args)
+    findings = diagnose(trace)
+    if not findings:
+        print(f"{trace.name}: no speedup limiters detected")
+        return 0
+    print(f"{trace.name}: {len(findings)} finding(s)")
+    for finding in findings:
+        print(f"  {finding}")
+    return 0
+
+
+def cmd_autotune(args) -> int:
+    from .analysis import autotune
+    trace = _load_trace(args)
+    result = autotune(trace, n_procs=args.procs)
+    print(f"{trace.name}:")
+    print(result.summary())
+    if args.out:
+        from .trace import save_trace
+        save_trace(result.trace, args.out)
+        print(f"tuned trace written to {args.out}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    trace = SECTIONS[args.section](args.seed)
+    save_trace(trace, args.out)
+    print(f"wrote {trace.total_activations()} activations over "
+          f"{len(trace.cycles)} cycles to {args.out}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from .trace import save_trace
+    from .workloads import SectionSpec, generate_section
+    spec = SectionSpec(
+        name=args.name, cycles=args.cycles,
+        right_activations=args.right, left_activations=args.left,
+        fanout=args.fanout, active_left_buckets=args.buckets,
+        left_skew=args.skew, seed=args.seed)
+    trace = generate_section(spec)
+    save_trace(trace, args.out)
+    stats = trace.stats()
+    print(f"wrote {stats.total} activations "
+          f"({stats.left} left / {stats.right} right) over "
+          f"{len(trace.cycles)} cycles to {args.out}")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    # Reuse the example script's figure registry.
+    import importlib.util
+    import pathlib
+    spec_path = (pathlib.Path(__file__).resolve().parent.parent.parent
+                 / "examples" / "paper_figures.py")
+    if not spec_path.exists():
+        print("error: examples/paper_figures.py not found "
+              "(source checkout required)", file=sys.stderr)
+        return 2
+    spec = importlib.util.spec_from_file_location("paper_figures",
+                                                  spec_path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # type: ignore[union-attr]
+    sections = [rubik_section(), tourney_section(), weaver_section()]
+    wanted = args.names or list(module.FIGURES)
+    for name in wanted:
+        if name not in module.FIGURES:
+            print(f"error: unknown figure {name!r}; choose from "
+                  f"{sorted(module.FIGURES)}", file=sys.stderr)
+            return 2
+        module.FIGURES[name](sections)
+    return 0
+
+
+def cmd_run(args) -> int:
+    from .ops5 import Interpreter, parse_program
+    from .rete import ReteNetwork
+    with open(args.source, "r", encoding="utf-8") as fh:
+        program = parse_program(fh.read())
+    interp = Interpreter(matcher=ReteNetwork())
+    interp.load_program(program)
+    result = interp.run(max_cycles=args.max_cycles)
+    sys.stdout.write(result.output)
+    status = ("halted" if result.halted
+              else "quiesced" if result.quiesced else "cycle limit")
+    print(f"[{result.cycles} firings; {status}]")
+    if args.verbose:
+        for record in result.firings:
+            print(f"  cycle {record.cycle}: {record.production_name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Production systems on message-passing computers "
+                    "(Tambe/Acharya/Gupta 1989) — reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("sections", help="Table 5-2 statistics")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_sections)
+
+    p = sub.add_parser("simulate", help="simulate a section on an MPC")
+    group = p.add_mutually_exclusive_group()
+    group.add_argument("--section", choices=sorted(SECTIONS),
+                       default="rubik")
+    group.add_argument("--trace-file", help="a saved Fig 4-1 trace")
+    p.add_argument("--procs", type=int, nargs="+",
+                   default=[1, 2, 4, 8, 16, 32])
+    p.add_argument("--overhead", type=int, default=0,
+                   help="total message overhead in us "
+                        "(a Table 5-1 row: 0, 8, 16 or 32)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("diagnose",
+                       help="detect speedup limiters in a trace "
+                            "(Section 5.2 methodology)")
+    group = p.add_mutually_exclusive_group()
+    group.add_argument("--section", choices=sorted(SECTIONS),
+                       default="tourney")
+    group.add_argument("--trace-file")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_diagnose)
+
+    p = sub.add_parser("trace", help="write a section trace to a file")
+    p.add_argument("--section", choices=sorted(SECTIONS),
+                   default="rubik")
+    p.add_argument("--out", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("autotune",
+                       help="apply the Section 5.2 remedies "
+                            "automatically")
+    group = p.add_mutually_exclusive_group()
+    group.add_argument("--section", choices=sorted(SECTIONS),
+                       default="tourney")
+    group.add_argument("--trace-file")
+    p.add_argument("--procs", type=int, default=16)
+    p.add_argument("--out", help="write the tuned trace here")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_autotune)
+
+    p = sub.add_parser("generate",
+                       help="synthesize a custom section trace")
+    p.add_argument("--name", default="custom")
+    p.add_argument("--cycles", type=int, default=4)
+    p.add_argument("--right", type=int, default=1000,
+                   help="right activations over the section")
+    p.add_argument("--left", type=int, default=1000,
+                   help="left activations over the section")
+    p.add_argument("--fanout", type=int, default=4)
+    p.add_argument("--buckets", type=int, default=32,
+                   help="active left buckets per cycle")
+    p.add_argument("--skew", type=float, default=0.8,
+                   help="Zipf skew of left traffic over buckets")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("figures", help="regenerate paper figures")
+    p.add_argument("names", nargs="*",
+                   help="figure ids (default: all)")
+    p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("run", help="execute an OPS5 source file")
+    p.add_argument("source")
+    p.add_argument("--max-cycles", type=int, default=10_000)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(fn=cmd_run)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""Discrete-event simulation of production-system match on a
+message-passing computer (paper Sections 3.2, 4 and 5).
+
+Typical use::
+
+    from repro.mpc import simulate, simulate_base, speedup
+    from repro.mpc import OverheadModel, RoundRobinMapping
+
+    base = simulate_base(trace)
+    run = simulate(trace, n_procs=16,
+                   overheads=OverheadModel(send_us=5, recv_us=3))
+    print(speedup(base, run))
+"""
+
+from .continuum import simulate_master_copy, simulate_replicated
+from .dedicated import simulate_dedicated_alpha
+from .costmodel import (DEFAULT_COSTS, TABLE_5_1, ZERO_OVERHEADS, CostModel,
+                        OverheadModel, table_5_1_rows)
+from .mapping import (DEFAULT_N_BUCKETS, BucketMapping, ExplicitMapping,
+                      RandomMapping, RoundRobinMapping, greedy_assignment,
+                      greedy_mapping)
+from .metrics import CycleResult, SimResult, speedup, speedup_series
+from .pairs import simulate_pairs
+from .sharedbus import DEFAULT_QUEUE_ACCESS_US, simulate_shared_bus
+from .simulator import (bucket_work, compute_search_costs, simulate,
+                        simulate_base)
+from .termination import (TerminationScheme, apply_termination,
+                          detection_delay, termination_overhead_fraction)
+from .sweep import (DEFAULT_PROC_COUNTS, SpeedupCurve, format_curves,
+                    overhead_sweep, speedup_curve, speedup_loss)
+
+__all__ = [
+    "DEFAULT_COSTS", "TABLE_5_1", "ZERO_OVERHEADS", "CostModel",
+    "OverheadModel", "table_5_1_rows",
+    "DEFAULT_N_BUCKETS", "BucketMapping", "ExplicitMapping",
+    "RandomMapping", "RoundRobinMapping", "greedy_assignment",
+    "greedy_mapping",
+    "CycleResult", "SimResult", "speedup", "speedup_series",
+    "bucket_work", "compute_search_costs", "simulate", "simulate_base",
+    "DEFAULT_PROC_COUNTS", "SpeedupCurve", "format_curves",
+    "overhead_sweep", "speedup_curve", "speedup_loss",
+    "simulate_master_copy", "simulate_replicated", "simulate_pairs",
+    "DEFAULT_QUEUE_ACCESS_US", "simulate_shared_bus",
+    "simulate_dedicated_alpha",
+    "TerminationScheme", "apply_termination", "detection_delay",
+    "termination_overhead_fraction",
+]

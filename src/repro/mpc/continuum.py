@@ -1,0 +1,259 @@
+"""The mapping continuum of paper Section 6 (future work).
+
+The paper places its distributed hash table "near the center of a
+continuum of mappings":
+
+* at one extreme, the hash tables are **replicated** on every processor
+  — any processor can match any token (perfect load balance), but every
+  add/delete must be applied to every copy, so the store traffic is
+  multiplied by the machine size;
+* at the other, a **single master copy** serves all processors — no
+  replication cost, but every store and every bucket lookup contends
+  for the owner.
+
+The authors leave exploring the continuum to future work; these two
+simulators realize the extremes with the same Section 4 cost model so
+the distributed mapping can be compared against both
+(``benchmarks/bench_continuum.py``).
+
+Both models keep the paper's cycle structure (broadcast, constant
+tests, causal token forest) and idealize what each extreme is best at:
+the replicated mapping dispatches every activation to the least-loaded
+processor (no ownership constraints), and the master-copy mapping lets
+workers generate successors in parallel while only the store/lookup
+serializes on the owner.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..trace.events import (KIND_TERMINAL, LEFT, CycleTrace, SectionTrace,
+                            TraceActivation)
+from .costmodel import DEFAULT_COSTS, ZERO_OVERHEADS, CostModel, \
+    OverheadModel
+from .metrics import CycleResult, SimResult
+
+
+@dataclass
+class _Arrival:
+    time: float
+    seq: int
+    act: TraceActivation
+
+    def __lt__(self, other: "_Arrival") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+def simulate_replicated(trace: SectionTrace, n_procs: int,
+                        costs: CostModel = DEFAULT_COSTS,
+                        overheads: OverheadModel = ZERO_OVERHEADS
+                        ) -> SimResult:
+    """Fully replicated hash tables: free placement, replicated stores.
+
+    Every activation is executed by the processor that will finish it
+    earliest; its hash-table update is then applied by *all* processors
+    (each paying the store cost, plus a receive overhead when the update
+    arrives as a message).
+    """
+    if n_procs < 1:
+        raise ValueError("need at least one processor")
+    result = SimResult(trace_name=trace.name, n_procs=n_procs)
+    for cycle in trace:
+        result.cycles.append(
+            _replicated_cycle(cycle, n_procs, costs, overheads))
+    return result
+
+
+def _replicated_cycle(cycle: CycleTrace, n_procs: int, costs: CostModel,
+                      overheads: OverheadModel) -> CycleResult:
+    start = (overheads.send_us + overheads.latency_us
+             + overheads.recv_us + costs.constant_tests_us)
+    ready = [start] * n_procs
+    busy = [overheads.recv_us + costs.constant_tests_us] * n_procs
+    activations = [0] * n_procs
+    left_activations = [0] * n_procs
+    control_busy = overheads.send_us
+    control_ready = control_busy
+    control_arrivals: List[float] = []
+    n_messages = 1
+    network_busy = overheads.latency_us
+
+    queue: List[_Arrival] = []
+    seq = 0
+    for root in cycle.roots():
+        seq += 1
+        heapq.heappush(queue, _Arrival(time=start, seq=seq, act=root))
+
+    def send_to_control(depart: float) -> None:
+        nonlocal control_ready, control_busy, n_messages, network_busy
+        n_messages += 1
+        network_busy += overheads.latency_us
+        arrive = depart + overheads.latency_us
+        control_ready = max(control_ready, arrive) + overheads.recv_us
+        control_busy += overheads.recv_us
+        control_arrivals.append(control_ready)
+
+    while queue:
+        arrival = heapq.heappop(queue)
+        act = arrival.act
+        if act.kind == KIND_TERMINAL:
+            send_to_control(arrival.time + overheads.send_us)
+            continue
+        # Free placement: the processor that can finish first.
+        p = min(range(n_procs),
+                key=lambda q: (max(ready[q], arrival.time), q))
+        t = max(ready[p], arrival.time)
+        task_start = t
+        store = costs.store_cost(act.side)
+        t += store
+        for succ_id in act.successors:
+            t += costs.successor_us
+            succ = cycle.activations[succ_id]
+            if succ.kind == KIND_TERMINAL:
+                t += overheads.send_us
+                send_to_control(t)
+                continue
+            seq += 1
+            heapq.heappush(queue, _Arrival(time=t, seq=seq, act=succ))
+        # Replicate the update to every other copy (the continuum's
+        # "continuous updates among the various copies").
+        t += overheads.send_us  # one broadcast of the update
+        n_messages += max(0, n_procs - 1)
+        network_busy += overheads.latency_us * max(0, n_procs - 1)
+        update_arrive = t + overheads.latency_us
+        for q in range(n_procs):
+            if q == p:
+                continue
+            apply_start = max(ready[q], update_arrive)
+            ready[q] = apply_start + overheads.recv_us + store
+            busy[q] += overheads.recv_us + store
+        busy[p] += t - task_start
+        ready[p] = t
+        activations[p] += 1
+        if act.side == LEFT:
+            left_activations[p] += 1
+
+    makespan = max(ready + control_arrivals + [start])
+    return CycleResult(index=cycle.index, makespan_us=makespan,
+                       proc_busy_us=busy, proc_activations=activations,
+                       proc_left_activations=left_activations,
+                       n_messages=n_messages,
+                       network_busy_us=network_busy,
+                       control_busy_us=control_busy)
+
+
+def simulate_master_copy(trace: SectionTrace, n_procs: int,
+                         costs: CostModel = DEFAULT_COSTS,
+                         overheads: OverheadModel = ZERO_OVERHEADS
+                         ) -> SimResult:
+    """Single master copy: processor 0 owns both hash tables.
+
+    Workers (processors 1..n-1) field token arrivals and generate
+    successors, but every store and bucket lookup is a serial
+    transaction on the master — "generating contention for the
+    processor owning the hash-table".  With ``n_procs == 1`` the single
+    processor is both master and worker (the degenerate case).
+    """
+    if n_procs < 1:
+        raise ValueError("need at least one processor")
+    result = SimResult(trace_name=trace.name, n_procs=n_procs)
+    for cycle in trace:
+        result.cycles.append(
+            _master_cycle(cycle, n_procs, costs, overheads))
+    return result
+
+
+def _master_cycle(cycle: CycleTrace, n_procs: int, costs: CostModel,
+                  overheads: OverheadModel) -> CycleResult:
+    start = (overheads.send_us + overheads.latency_us
+             + overheads.recv_us + costs.constant_tests_us)
+    ready = [start] * n_procs
+    busy = [overheads.recv_us + costs.constant_tests_us] * n_procs
+    activations = [0] * n_procs
+    left_activations = [0] * n_procs
+    control_busy = overheads.send_us
+    control_ready = control_busy
+    control_arrivals: List[float] = []
+    n_messages = 1
+    network_busy = overheads.latency_us
+
+    workers = list(range(1, n_procs)) or [0]
+    master = 0
+
+    queue: List[_Arrival] = []
+    seq = 0
+    for root in cycle.roots():
+        seq += 1
+        heapq.heappush(queue, _Arrival(time=start, seq=seq, act=root))
+
+    def send_to_control(depart: float) -> None:
+        nonlocal control_ready, control_busy, n_messages, network_busy
+        n_messages += 1
+        network_busy += overheads.latency_us
+        arrive = depart + overheads.latency_us
+        control_ready = max(control_ready, arrive) + overheads.recv_us
+        control_busy += overheads.recv_us
+        control_arrivals.append(control_ready)
+
+    while queue:
+        arrival = heapq.heappop(queue)
+        act = arrival.act
+        if act.kind == KIND_TERMINAL:
+            send_to_control(arrival.time + overheads.send_us)
+            continue
+        w = min(workers, key=lambda q: (max(ready[q], arrival.time), q))
+        t = max(ready[w], arrival.time)
+        # Round trip to the master: request, exclusive store+lookup,
+        # reply with the opposite bucket contents.
+        if w != master:
+            t += overheads.send_us
+            n_messages += 1
+            network_busy += overheads.latency_us
+            request_arrive = t + overheads.latency_us
+        else:
+            request_arrive = t
+        m_start = max(ready[master], request_arrive)
+        m_busy_start = m_start
+        m_t = m_start + (overheads.recv_us if w != master else 0.0)
+        m_t += costs.store_cost(act.side)
+        if w != master:
+            m_t += overheads.send_us
+            n_messages += 1
+            network_busy += overheads.latency_us
+        ready[master] = m_t
+        busy[master] += m_t - m_busy_start
+        activations[master] += 1
+        if act.side == LEFT:
+            left_activations[master] += 1
+
+        # Worker resumes when the bucket contents arrive, generates the
+        # successors locally.  (Waiting for the master is idle time, so
+        # busy is accumulated from explicit costs, not elapsed time.)
+        t = max(t, m_t + (overheads.latency_us if w != master else 0.0))
+        worker_busy = 0.0
+        if w != master:
+            t += overheads.recv_us
+            worker_busy += overheads.send_us + overheads.recv_us
+        gen_start = t
+        for succ_id in act.successors:
+            t += costs.successor_us
+            succ = cycle.activations[succ_id]
+            if succ.kind == KIND_TERMINAL:
+                t += overheads.send_us
+                send_to_control(t)
+                continue
+            seq += 1
+            heapq.heappush(queue, _Arrival(time=t, seq=seq, act=succ))
+        busy[w] += worker_busy + (t - gen_start)
+        ready[w] = t
+
+    makespan = max(ready + control_arrivals + [start])
+    return CycleResult(index=cycle.index, makespan_us=makespan,
+                       proc_busy_us=busy, proc_activations=activations,
+                       proc_left_activations=left_activations,
+                       n_messages=n_messages,
+                       network_busy_us=network_busy,
+                       control_busy_us=control_busy)

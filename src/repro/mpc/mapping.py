@@ -1,0 +1,128 @@
+"""Bucket-to-processor distribution strategies (paper Sections 5.1/5.2.2).
+
+The range of hash indices is partitioned among the match processors;
+both the left and right bucket with a given index live on the same
+processor (Section 3.1).  The paper evaluates:
+
+* **round robin** over bucket indices (the default of Section 5.1),
+* **random** distribution (tried, "failed to provide a significant
+  improvement"),
+* an offline **greedy** distribution fed the per-bucket activity of each
+  cycle (an upper bound: ≈1.4× over round robin).
+
+All strategies implement :class:`BucketMapping`:
+``processor_for(key) -> int`` in ``range(n_procs)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Protocol
+
+from ..rete.hashing import BucketKey, stable_hash
+
+#: Size of the global hash-index range that is partitioned across
+#: processors.  Large enough that distinct keys rarely collide on an
+#: index, small enough to keep the paper's "buckets per processor"
+#: granularity meaningful.
+DEFAULT_N_BUCKETS = 1024
+
+
+class BucketMapping(Protocol):
+    """Strategy assigning hash buckets to match processors."""
+
+    n_procs: int
+
+    def processor_for(self, key: BucketKey) -> int:
+        """The match processor (0-based) owning *key*'s bucket."""
+        ...
+
+
+@dataclass
+class RoundRobinMapping:
+    """Bucket index *i* goes to processor ``i % n_procs`` (paper default)."""
+
+    n_procs: int
+    n_buckets: int = DEFAULT_N_BUCKETS
+
+    def processor_for(self, key: BucketKey) -> int:
+        return (stable_hash(key) % self.n_buckets) % self.n_procs
+
+
+@dataclass
+class RandomMapping:
+    """Each bucket index is assigned to a uniformly random processor.
+
+    The assignment is a fixed function of (seed, n_buckets): the same
+    bucket always lands on the same processor, as in a static
+    distribution decided before the run.
+    """
+
+    n_procs: int
+    seed: int = 0
+    n_buckets: int = DEFAULT_N_BUCKETS
+    _table: List[int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        rng = random.Random(self.seed)
+        self._table = [rng.randrange(self.n_procs)
+                       for _ in range(self.n_buckets)]
+
+    def processor_for(self, key: BucketKey) -> int:
+        return self._table[stable_hash(key) % self.n_buckets]
+
+
+@dataclass
+class ExplicitMapping:
+    """A hand- or algorithm-built assignment of specific keys.
+
+    Keys not present fall back to round robin, so a partial greedy
+    assignment still covers the long tail of cold buckets.
+    """
+
+    n_procs: int
+    assignment: Mapping[BucketKey, int] = field(default_factory=dict)
+    n_buckets: int = DEFAULT_N_BUCKETS
+
+    def processor_for(self, key: BucketKey) -> int:
+        proc = self.assignment.get(key)
+        if proc is not None:
+            if not 0 <= proc < self.n_procs:
+                raise ValueError(
+                    f"assignment maps {key} to processor {proc}, outside "
+                    f"range({self.n_procs})")
+            return proc
+        return (stable_hash(key) % self.n_buckets) % self.n_procs
+
+
+def greedy_assignment(bucket_work: Mapping[BucketKey, float],
+                      n_procs: int) -> Dict[BucketKey, int]:
+    """Offline LPT greedy: heaviest bucket to the least-loaded processor.
+
+    *bucket_work* is the measured activity (µs of processing) per bucket
+    — information "not available to the actual distribution algorithm",
+    as the paper notes; the result is an upper bound on what a static
+    distribution could achieve.  Determining the optimum is
+    multiprocessor scheduling (NP-complete), and LPT's low variance makes
+    it "close to the optimal distribution".
+    """
+    loads = [0.0] * n_procs
+    assignment: Dict[BucketKey, int] = {}
+    # Sort heaviest first; ties broken by key for determinism.
+    for key, work in sorted(bucket_work.items(),
+                            key=lambda kv: (-kv[1], kv[0])):
+        target = min(range(n_procs), key=lambda p: loads[p])
+        assignment[key] = target
+        loads[target] += work
+    return assignment
+
+
+def greedy_mapping(bucket_work: Mapping[BucketKey, float],
+                   n_procs: int,
+                   n_buckets: int = DEFAULT_N_BUCKETS) -> ExplicitMapping:
+    """Convenience wrapper: LPT assignment as an :class:`ExplicitMapping`."""
+    return ExplicitMapping(n_procs=n_procs,
+                           assignment=greedy_assignment(bucket_work,
+                                                        n_procs),
+                           n_buckets=n_buckets)

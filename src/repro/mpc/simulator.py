@@ -1,0 +1,277 @@
+"""Discrete-event simulation of the Section 3.2 mapping.
+
+The simulator replays a hash-table activity trace against a machine of
+``n_procs`` match processors plus one control processor, following the
+paper's match procedure:
+
+1. The control processor broadcasts the cycle's wme packet to all match
+   processors (one send overhead at control; latency; one receive
+   overhead at each match processor).
+2. Every match processor evaluates all constant tests (30 µs) and keeps
+   exactly the root activations whose hash bucket it owns — the coarse
+   granularity: these never travel as messages.
+3. Processing an activation = add/delete the token in its bucket
+   (32 µs left / 16 µs right) then generate successors (16 µs each).
+   Each successor headed for a bucket on another processor is sent as a
+   message (send overhead at the producer, latency in the network,
+   receive overhead at the consumer) — the fine granularity.
+4. Instantiations (terminal activations) are sent to the control
+   processor.
+5. The cycle ends when all activations are processed and all messages
+   delivered; cycles are serialized by the control barrier.  Termination
+   detection is idealized and free, as in the paper.
+
+Everything is deterministic: the event queue breaks ties on a sequence
+counter and processors serve tasks FIFO by arrival time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..rete.hashing import BucketKey
+from ..trace.events import (KIND_TERMINAL, LEFT, CycleTrace, SectionTrace,
+                            TraceActivation)
+from .costmodel import DEFAULT_COSTS, ZERO_OVERHEADS, CostModel, \
+    OverheadModel
+from .mapping import BucketMapping, RoundRobinMapping
+from .metrics import CycleResult, SimResult
+
+#: Signature for per-cycle mapping construction (used by the idealized
+#: greedy distribution, which the paper recomputed every cycle).
+MappingFactory = Callable[[CycleTrace], BucketMapping]
+
+
+def bucket_work(cycle: CycleTrace,
+                costs: CostModel = DEFAULT_COSTS) -> Dict[BucketKey, float]:
+    """Per-bucket processing time in *cycle* (greedy-distribution input).
+
+    This is the "detailed trace of the activity in each bucket" the paper
+    feeds its offline greedy algorithm.
+    """
+    work: Dict[BucketKey, float] = {}
+    for act in cycle:
+        if act.kind == KIND_TERMINAL:
+            continue
+        cost = costs.store_cost(act.side) + \
+            costs.successor_us * act.n_successors
+        work[act.key] = work.get(act.key, 0.0) + cost
+    return work
+
+
+def compute_search_costs(trace: SectionTrace,
+                         costs: CostModel) -> Dict[int, Dict[int, float]]:
+    """Per-activation deletion-search surcharges (footnote 6 model).
+
+    Bucket occupancy is tracked in causal (serial trace) order across
+    the whole section — Rete memory persists between cycles — and every
+    "-" activation is charged ``delete_search_us`` per entry it must
+    scan past.  Returns ``{cycle_index: {act_id: extra_us}}``; empty
+    when the cost model keeps the paper's constant-time assumption.
+    """
+    if costs.delete_search_us <= 0.0:
+        return {}
+    depth: Dict[BucketKey, int] = {}
+    extra: Dict[int, Dict[int, float]] = {}
+    for cycle in trace:
+        per_cycle: Dict[int, float] = {}
+        for act in cycle:
+            if act.kind == KIND_TERMINAL:
+                continue
+            if act.tag == "+":
+                depth[act.key] = depth.get(act.key, 0) + 1
+            else:
+                before = depth.get(act.key, 0)
+                if before > 0:
+                    per_cycle[act.act_id] = \
+                        costs.delete_search_us * before
+                    depth[act.key] = before - 1
+        if per_cycle:
+            extra[cycle.index] = per_cycle
+    return extra
+
+
+def simulate(trace: SectionTrace,
+             n_procs: int,
+             costs: CostModel = DEFAULT_COSTS,
+             overheads: OverheadModel = ZERO_OVERHEADS,
+             mapping: Optional[BucketMapping] = None,
+             mapping_factory: Optional[MappingFactory] = None) -> SimResult:
+    """Simulate *trace* on *n_procs* match processors.
+
+    Parameters
+    ----------
+    trace:
+        The section to replay (validated traces only; see
+        :func:`repro.trace.validate_trace`).
+    n_procs:
+        Number of match processors (the control processor is extra).
+    costs / overheads:
+        Section 4 cost model and Table 5-1 overhead setting.
+    mapping:
+        Bucket distribution; defaults to the paper's round robin.
+    mapping_factory:
+        When given, overrides *mapping* with a fresh mapping per cycle —
+        the paper's idealized per-cycle greedy redistribution.
+
+    Returns
+    -------
+    SimResult with one :class:`CycleResult` per cycle.
+    """
+    if n_procs < 1:
+        raise ValueError("need at least one match processor")
+    if mapping is None:
+        mapping = RoundRobinMapping(n_procs)
+    if mapping.n_procs != n_procs:
+        raise ValueError(
+            f"mapping built for {mapping.n_procs} processors, "
+            f"simulating {n_procs}")
+
+    search_costs = compute_search_costs(trace, costs)
+    result = SimResult(trace_name=trace.name, n_procs=n_procs)
+    for cycle in trace:
+        cycle_mapping = (mapping_factory(cycle) if mapping_factory
+                         else mapping)
+        if cycle_mapping.n_procs != n_procs:
+            raise ValueError("mapping_factory produced a mapping for "
+                             f"{cycle_mapping.n_procs} processors")
+        result.cycles.append(
+            _simulate_cycle(cycle, n_procs, costs, overheads,
+                            cycle_mapping,
+                            search_costs.get(cycle.index, {})))
+    return result
+
+
+@dataclass
+class _Task:
+    """A pending activation delivery to a match processor."""
+
+    arrival: float
+    seq: int
+    proc: int
+    act: TraceActivation
+    via_message: bool
+
+    def __lt__(self, other: "_Task") -> bool:
+        return (self.arrival, self.seq) < (other.arrival, other.seq)
+
+
+def _simulate_cycle(cycle: CycleTrace, n_procs: int, costs: CostModel,
+                    overheads: OverheadModel,
+                    mapping: BucketMapping,
+                    search_costs: Optional[Dict[int, float]] = None
+                    ) -> CycleResult:
+    search_costs = search_costs or {}
+    # --- step 1: broadcast -------------------------------------------------
+    control_busy = overheads.send_us
+    match_start = (overheads.send_us + overheads.latency_us
+                   + overheads.recv_us)
+    network_busy = overheads.latency_us if n_procs > 0 else 0.0
+    n_messages = 1  # the broadcast packet
+
+    # --- step 2: constant tests on every processor -------------------------
+    ready = [match_start + costs.constant_tests_us] * n_procs
+    busy = [overheads.recv_us + costs.constant_tests_us] * n_procs
+    activations = [0] * n_procs
+    left_activations = [0] * n_procs
+
+    seq = 0
+    queue: List[_Task] = []
+    #: completion times of instantiation deliveries at the control proc
+    control_arrivals: List[float] = []
+    control_ready = control_busy  # control is busy until broadcast sent
+
+    def send_to_control(depart: float) -> None:
+        nonlocal control_busy, control_ready, network_busy, n_messages
+        n_messages += 1
+        network_busy += overheads.latency_us
+        arrive = depart + overheads.latency_us
+        # Control handles instantiation receipts FIFO as they arrive.
+        control_ready = max(control_ready, arrive) + overheads.recv_us
+        control_busy += overheads.recv_us
+        control_arrivals.append(control_ready)
+
+    for root in cycle.roots():
+        owner = mapping.processor_for(root.key)
+        if root.kind == KIND_TERMINAL:
+            # A single-CE instantiation: produced by the constant tests;
+            # the bucket owner ships it to the control processor.
+            depart = ready[owner] + overheads.send_us
+            busy[owner] += overheads.send_us
+            ready[owner] = depart
+            send_to_control(depart)
+            continue
+        seq += 1
+        heapq.heappush(queue, _Task(arrival=ready[owner], seq=seq,
+                                    proc=owner, act=root,
+                                    via_message=False))
+
+    # --- steps 3-4: event loop ------------------------------------------------
+    while queue:
+        task = heapq.heappop(queue)
+        p = task.proc
+        act = task.act
+        start = max(ready[p], task.arrival)
+        t = start
+        if task.via_message:
+            t += overheads.recv_us
+        t += costs.store_cost(act.side)
+        t += search_costs.get(act.act_id, 0.0)
+        activations[p] += 1
+        if act.side == LEFT:
+            left_activations[p] += 1
+
+        for succ_id in act.successors:
+            succ = cycle.activations[succ_id]
+            t += costs.successor_us
+            if succ.kind == KIND_TERMINAL:
+                t += overheads.send_us
+                send_to_control(t)
+                continue
+            dest = mapping.processor_for(succ.key)
+            seq += 1
+            if dest == p:
+                heapq.heappush(queue, _Task(arrival=t, seq=seq, proc=p,
+                                            act=succ, via_message=False))
+            else:
+                t += overheads.send_us
+                heapq.heappush(queue, _Task(
+                    arrival=t + overheads.latency_us, seq=seq, proc=dest,
+                    act=succ, via_message=True))
+
+        busy[p] += t - start
+        ready[p] = t
+
+    # Tally inter-processor token messages by walking the causal links
+    # against the mapping (equivalent to counting via_message pushes).
+    token_messages = 0
+    for act in cycle:
+        if act.kind == KIND_TERMINAL or act.parent_id is None:
+            continue
+        parent = cycle.activations[act.parent_id]
+        if parent.kind == KIND_TERMINAL:
+            continue
+        if mapping.processor_for(parent.key) != \
+                mapping.processor_for(act.key):
+            token_messages += 1
+    n_messages += token_messages
+    network_busy += token_messages * overheads.latency_us
+
+    makespan = max([match_start + costs.constant_tests_us]
+                   + ready + control_arrivals)
+    return CycleResult(index=cycle.index, makespan_us=makespan,
+                       proc_busy_us=busy,
+                       proc_activations=activations,
+                       proc_left_activations=left_activations,
+                       n_messages=n_messages,
+                       network_busy_us=network_busy,
+                       control_busy_us=control_busy)
+
+
+def simulate_base(trace: SectionTrace,
+                  costs: CostModel = DEFAULT_COSTS) -> SimResult:
+    """The paper's base case: one match processor, zero overheads."""
+    return simulate(trace, n_procs=1, costs=costs,
+                    overheads=ZERO_OVERHEADS)

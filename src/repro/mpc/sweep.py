@@ -1,0 +1,120 @@
+"""Parameter sweeps: the experiment harness behind Figures 5-1/5-2/5-4/5-6.
+
+Every speedup is computed the paper's way — against the run with a
+single match processor and zero communication overheads on the *same*
+trace (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..trace.events import SectionTrace
+from .costmodel import (DEFAULT_COSTS, TABLE_5_1, ZERO_OVERHEADS, CostModel,
+                        OverheadModel)
+from .mapping import BucketMapping
+from .metrics import SimResult, speedup
+from .simulator import MappingFactory, simulate, simulate_base
+
+#: The processor counts swept in the paper's figures (Nectar scale: up
+#: to 32 processors).
+DEFAULT_PROC_COUNTS: Tuple[int, ...] = (1, 2, 4, 8, 16, 24, 32)
+
+
+@dataclass
+class SpeedupCurve:
+    """One speedup-vs-processors series (one line of a paper figure)."""
+
+    label: str
+    proc_counts: List[int]
+    speedups: List[float]
+    results: List[SimResult] = field(repr=False, default_factory=list)
+
+    def peak(self) -> Tuple[int, float]:
+        """(processor count, speedup) at the best point of the curve."""
+        best = max(range(len(self.speedups)),
+                   key=lambda i: self.speedups[i])
+        return self.proc_counts[best], self.speedups[best]
+
+    def at(self, n_procs: int) -> float:
+        """Speedup at a specific processor count."""
+        return self.speedups[self.proc_counts.index(n_procs)]
+
+    def rows(self) -> List[str]:
+        return [f"  {p:>3} procs: {s:6.2f}x"
+                for p, s in zip(self.proc_counts, self.speedups)]
+
+
+def speedup_curve(trace: SectionTrace,
+                  proc_counts: Sequence[int] = DEFAULT_PROC_COUNTS,
+                  overheads: OverheadModel = ZERO_OVERHEADS,
+                  costs: CostModel = DEFAULT_COSTS,
+                  mapping_for: Optional[Callable[[int], BucketMapping]]
+                  = None,
+                  mapping_factory_for: Optional[
+                      Callable[[int], MappingFactory]] = None,
+                  label: Optional[str] = None) -> SpeedupCurve:
+    """Speedups of *trace* across processor counts at one overhead setting.
+
+    *mapping_for* builds the bucket distribution for each processor
+    count (default: round robin); *mapping_factory_for* instead builds a
+    per-cycle mapping factory (for the idealized greedy distribution).
+    """
+    base = simulate_base(trace, costs=costs)
+    speedups: List[float] = []
+    results: List[SimResult] = []
+    for n_procs in proc_counts:
+        kwargs = {}
+        if mapping_factory_for is not None:
+            kwargs["mapping_factory"] = mapping_factory_for(n_procs)
+        elif mapping_for is not None:
+            kwargs["mapping"] = mapping_for(n_procs)
+        result = simulate(trace, n_procs=n_procs, costs=costs,
+                          overheads=overheads, **kwargs)
+        results.append(result)
+        speedups.append(speedup(base, result))
+    return SpeedupCurve(label=label or f"{trace.name}@{overheads.label()}",
+                        proc_counts=list(proc_counts), speedups=speedups,
+                        results=results)
+
+
+def overhead_sweep(trace: SectionTrace,
+                   proc_counts: Sequence[int] = DEFAULT_PROC_COUNTS,
+                   overhead_settings: Sequence[OverheadModel] = TABLE_5_1,
+                   costs: CostModel = DEFAULT_COSTS) -> List[SpeedupCurve]:
+    """The Figure 5-2 experiment: one curve per Table 5-1 setting."""
+    return [speedup_curve(trace, proc_counts, overheads=overheads,
+                          costs=costs,
+                          label=f"{trace.name}@{overheads.label()}")
+            for overheads in overhead_settings]
+
+
+def speedup_loss(zero_curve: SpeedupCurve,
+                 loaded_curve: SpeedupCurve) -> float:
+    """Fractional loss of *peak* speedup due to overheads.
+
+    The paper quotes losses of ~30% (Rubik), ~45% (Tourney) and up to
+    ~50% (Weaver) at the heaviest (32 µs total) setting.
+    """
+    _, zero_peak = zero_curve.peak()
+    _, loaded_peak = loaded_curve.peak()
+    if zero_peak <= 0:
+        return 0.0
+    return 1.0 - loaded_peak / zero_peak
+
+
+def format_curves(curves: Sequence[SpeedupCurve],
+                  title: str = "") -> str:
+    """ASCII table: processors down the side, one column per curve."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "procs " + " ".join(f"{c.label:>22}" for c in curves)
+    lines.append(header)
+    proc_counts = curves[0].proc_counts
+    for i, n_procs in enumerate(proc_counts):
+        row = f"{n_procs:>5} " + " ".join(
+            f"{c.speedups[i]:>21.2f}x" for c in curves)
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Termination-detection cost models (paper Section 4, future work).
+
+The paper's simulator "does not simulate termination detection" and
+defers choosing a scheme to future work, citing Mattern's survey.  The
+control processor must nevertheless learn, every MRA cycle, that all
+match processors have gone idle and no token messages are in flight
+before it can run resolve/act.  This module prices the classic schemes
+on top of a finished cycle simulation, so their relative impact can be
+compared (``benchmarks/bench_termination.py``):
+
+* **ideal** — free and instantaneous (what the paper simulates).
+* **barrier** — every match processor reports idle to the control
+  processor directly: one message per processor, received serially at
+  control.  Simple, O(P) control hot spot.
+* **ring** — Dijkstra-style token ring: a probe circulates the P match
+  processors; in the benign case (no reactivation) detection completes
+  after one clean round started once the slowest processor finishes,
+  plus a final report to control.  O(P) latency, no hot spot.
+* **tree** — a binary combining tree: idle reports merge pairwise;
+  ceil(log2 P) message hops plus the root's report to control.
+
+All schemes only *add time after the cycle's real work*; they never
+change the match result, so they compose with any simulator in this
+package via :func:`apply_termination`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+from typing import List
+
+from .costmodel import OverheadModel
+from .metrics import CycleResult, SimResult
+
+
+class TerminationScheme(enum.Enum):
+    """Supported termination-detection schemes."""
+
+    IDEAL = "ideal"
+    BARRIER = "barrier"
+    RING = "ring"
+    TREE = "tree"
+
+
+def detection_delay(scheme: TerminationScheme, n_procs: int,
+                    overheads: OverheadModel) -> float:
+    """Extra microseconds from cycle quiescence to control's knowledge.
+
+    Per-message cost is ``send + latency + recv``; the barrier
+    additionally serializes the receives at the control processor.
+    """
+    if n_procs < 1:
+        raise ValueError("need at least one processor")
+    hop = overheads.send_us + overheads.latency_us + overheads.recv_us
+    if scheme is TerminationScheme.IDEAL:
+        return 0.0
+    if scheme is TerminationScheme.BARRIER:
+        # All reports can be in flight concurrently, but the control
+        # processor consumes them one at a time.
+        if hop == 0.0:
+            return 0.0
+        return (overheads.send_us + overheads.latency_us
+                + n_procs * overheads.recv_us)
+    if scheme is TerminationScheme.RING:
+        # One clean round of the ring plus the report to control.
+        return (n_procs + 1) * hop
+    if scheme is TerminationScheme.TREE:
+        levels = math.ceil(math.log2(n_procs)) if n_procs > 1 else 0
+        return (levels + 1) * hop
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def apply_termination(result: SimResult, scheme: TerminationScheme,
+                      overheads: OverheadModel) -> SimResult:
+    """Return a copy of *result* with detection delay added per cycle.
+
+    The delay lands after each cycle's makespan (the control barrier is
+    the last event of a cycle), so the section total grows by
+    ``len(cycles) * detection_delay``.
+    """
+    delay = detection_delay(scheme, result.n_procs, overheads)
+    cycles: List[CycleResult] = [
+        replace(c, makespan_us=c.makespan_us + delay)
+        for c in result.cycles
+    ]
+    return SimResult(trace_name=result.trace_name,
+                     n_procs=result.n_procs, cycles=cycles)
+
+
+def termination_overhead_fraction(result: SimResult,
+                                  scheme: TerminationScheme,
+                                  overheads: OverheadModel) -> float:
+    """Fraction of section time spent detecting termination."""
+    with_detection = apply_termination(result, scheme, overheads)
+    if with_detection.total_us == 0:
+        return 0.0
+    return 1.0 - result.total_us / with_detection.total_us

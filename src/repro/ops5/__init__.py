@@ -1,0 +1,48 @@
+"""OPS5 language subset: values, wmes, AST, parser, conflict resolution,
+RHS actions and the MRA interpreter (paper Section 2.1).
+
+Quick tour::
+
+    from repro.ops5 import parse_program, Interpreter
+
+    program = parse_program('''
+        (p clear-the-blue-block
+            (block ^name <b2> ^color blue)
+            (block ^name <b2> ^on <b1>)
+            (hand ^state free)
+            -->
+            (remove 2))
+    ''')
+    interp = Interpreter()
+    interp.load_program(program)
+    interp.add_wme("block", {"name": "b1", "color": "blue"})
+    ...
+    result = interp.run()
+"""
+
+from .ast import (Action, AttrTest, BindAction, ComputeExpr,
+                  ConditionElement, Constant, Disjunction, HaltAction,
+                  MakeAction, ModifyAction, Operand, Predicate, Production,
+                  Program, RemoveAction, RHSValue, Variable, WriteAction)
+from .conflict import Instantiation, Strategy, select
+from .errors import (ExecutionError, LexError, Ops5Error, ParseError,
+                     SemanticError)
+from .interpreter import FiringRecord, Interpreter, RunResult, run_program
+from .matcher import Matcher, NaiveMatcher, find_instantiations, match_ce
+from .parser import parse_production, parse_program
+from .values import NIL, Value, coerce_atom, format_value
+from .wme import WME, WorkingMemory
+
+__all__ = [
+    "Action", "AttrTest", "BindAction", "ComputeExpr", "ConditionElement",
+    "Constant", "Disjunction", "HaltAction", "MakeAction", "ModifyAction",
+    "Operand", "Predicate", "Production", "Program", "RemoveAction",
+    "RHSValue", "Variable", "WriteAction",
+    "Instantiation", "Strategy", "select",
+    "ExecutionError", "LexError", "Ops5Error", "ParseError", "SemanticError",
+    "FiringRecord", "Interpreter", "RunResult", "run_program",
+    "Matcher", "NaiveMatcher", "find_instantiations", "match_ce",
+    "parse_production", "parse_program",
+    "NIL", "Value", "coerce_atom", "format_value",
+    "WME", "WorkingMemory",
+]

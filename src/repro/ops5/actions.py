@@ -1,0 +1,188 @@
+"""RHS action evaluation: turning a fired instantiation into WM deltas.
+
+The act phase walks the production's RHS in order, resolving variable
+references against the instantiation's bindings (plus any ``bind``-local
+variables), and applies each action to the working memory.  It returns
+the list of deltas — ``("+", wme)`` / ``("-", wme)`` — that the
+interpreter forwards to the matcher, which is exactly the change stream
+the Rete network consumes at the top of the next cycle.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from .ast import (Action, BindAction, ComputeExpr, Constant, HaltAction,
+                  MakeAction, ModifyAction, RemoveAction, RHSValue,
+                  WriteAction)
+from .conflict import Instantiation
+from .errors import ExecutionError
+from .values import Value, format_value
+from .wme import WME, WorkingMemory
+
+#: A working-memory delta: tag is "+" for an add, "-" for a delete.
+Delta = Tuple[str, WME]
+
+
+@dataclass
+class ActionResult:
+    """Everything a single firing produced.
+
+    Attributes
+    ----------
+    deltas:
+        WM changes in execution order (modify contributes a "-" then "+").
+    halted:
+        True if the RHS executed ``(halt)``.
+    output:
+        Text written by ``(write ...)`` actions.
+    """
+
+    deltas: List[Delta] = field(default_factory=list)
+    halted: bool = False
+    output: str = ""
+
+
+def _resolve(value: RHSValue, bindings: Dict[str, Value]) -> Value:
+    operand = value.operand
+    if isinstance(operand, Constant):
+        return operand.value
+    if isinstance(operand, ComputeExpr):
+        return _evaluate_compute(operand, bindings)
+    if operand.name not in bindings:
+        raise ExecutionError(f"unbound RHS variable <{operand.name}>")
+    return bindings[operand.name]
+
+
+def _evaluate_compute(expr: ComputeExpr,
+                      bindings: Dict[str, Value]) -> Value:
+    """Evaluate ``(compute ...)`` left to right on numeric operands."""
+    def term(item) -> Value:
+        if isinstance(item, Constant):
+            resolved = item.value
+        else:
+            if item.name not in bindings:
+                raise ExecutionError(
+                    f"unbound RHS variable <{item.name}> in compute")
+            resolved = bindings[item.name]
+        if isinstance(resolved, str):
+            raise ExecutionError(
+                f"compute needs numbers, got symbol {resolved!r}")
+        return resolved
+
+    acc = term(expr.items[0])
+    for i in range(1, len(expr.items), 2):
+        op = expr.items[i]
+        rhs = term(expr.items[i + 1])
+        if op == "+":
+            acc = acc + rhs
+        elif op == "-":
+            acc = acc - rhs
+        elif op == "*":
+            acc = acc * rhs
+        elif op == "//":
+            if rhs == 0:
+                raise ExecutionError("compute division by zero")
+            acc = acc // rhs
+        elif op == "\\\\":
+            if rhs == 0:
+                raise ExecutionError("compute modulus by zero")
+            acc = acc % rhs
+        else:  # pragma: no cover - rejected at parse time
+            raise ExecutionError(f"unknown compute operator {op!r}")
+    return acc
+
+
+def execute(instantiation: Instantiation, wm: WorkingMemory,
+            out: Optional[TextIO] = None) -> ActionResult:
+    """Run the RHS of *instantiation* against *wm*.
+
+    Parameters
+    ----------
+    instantiation:
+        The winner of conflict resolution.
+    wm:
+        The working memory to mutate.
+    out:
+        Optional stream for ``write`` output; also captured in the result.
+
+    Notes
+    -----
+    ``remove``/``modify`` act on the wme that matched the named CE.  If an
+    earlier action of the same firing already removed that wme (legal in
+    OPS5, if unusual), the action is a no-op for ``remove`` and an error
+    for ``modify`` — you cannot update something that is gone.
+    """
+    result = ActionResult()
+    bindings: Dict[str, Value] = dict(instantiation.bindings)
+    sink = io.StringIO()
+
+    for action in instantiation.production.rhs:
+        _execute_one(action, instantiation, wm, bindings, result, sink)
+        if result.halted:
+            break
+
+    result.output = sink.getvalue()
+    if out is not None and result.output:
+        out.write(result.output)
+    return result
+
+
+def _execute_one(action: Action, instantiation: Instantiation,
+                 wm: WorkingMemory, bindings: Dict[str, Value],
+                 result: ActionResult, sink: io.StringIO) -> None:
+    if isinstance(action, MakeAction):
+        attrs = {attr: _resolve(v, bindings)
+                 for attr, v in action.assignments}
+        wme = wm.add(action.cls, attrs)
+        result.deltas.append(("+", wme))
+        return
+    if isinstance(action, RemoveAction):
+        for ce_index in action.ce_indices:
+            target = instantiation.wme_for_ce(ce_index)
+            if target is None:
+                raise ExecutionError(
+                    f"remove {ce_index}: CE is negated, no wme to remove")
+            if wm.get(target.wme_id) is None:
+                continue  # already removed by an earlier action
+            removed = wm.remove(target.wme_id)
+            result.deltas.append(("-", removed))
+        return
+    if isinstance(action, ModifyAction):
+        target = instantiation.wme_for_ce(action.ce_index)
+        if target is None:
+            raise ExecutionError(
+                f"modify {action.ce_index}: CE is negated, no wme to modify")
+        if wm.get(target.wme_id) is None:
+            raise ExecutionError(
+                f"modify {action.ce_index}: wme {target.wme_id} was already "
+                f"removed by an earlier action of this firing")
+        updates = {attr: _resolve(v, bindings)
+                   for attr, v in action.assignments}
+        old, new = wm.modify(target.wme_id, updates)
+        result.deltas.append(("-", old))
+        result.deltas.append(("+", new))
+        return
+    if isinstance(action, WriteAction):
+        # Values are space-separated; (crlf) directives became "\n" constants
+        # in the parser and are emitted verbatim without padding.
+        parts: List[str] = []
+        for value in action.values:
+            resolved = _resolve(value, bindings)
+            if resolved == "\n":
+                parts.append("\n")
+            else:
+                if parts and parts[-1] != "\n":
+                    parts.append(" ")
+                parts.append(format_value(resolved))
+        sink.write("".join(parts))
+        return
+    if isinstance(action, HaltAction):
+        result.halted = True
+        return
+    if isinstance(action, BindAction):
+        bindings[action.variable] = _resolve(action.value, bindings)
+        return
+    raise ExecutionError(f"unknown action type {type(action).__name__}")

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the OPS5 front end.
+
+All errors raised while lexing, parsing, compiling or executing an OPS5
+program derive from :class:`Ops5Error`, so callers can catch one type to
+handle "the program is bad" uniformly while still discriminating the
+phase that failed.
+"""
+
+from __future__ import annotations
+
+
+class Ops5Error(Exception):
+    """Base class for all OPS5 front-end errors."""
+
+
+class LexError(Ops5Error):
+    """Raised when the lexer encounters a malformed token.
+
+    Attributes
+    ----------
+    line, column:
+        1-based source position of the offending character.
+    """
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(Ops5Error):
+    """Raised when the token stream does not form a valid program."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        if line:
+            super().__init__(f"{message} (line {line}, column {column})")
+        else:
+            super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class SemanticError(Ops5Error):
+    """Raised for structurally valid but meaningless programs.
+
+    Examples: a RHS action referencing an unbound variable, ``remove``
+    naming a CE index that does not exist, or a negated CE index used in
+    ``modify`` (negated CEs match no particular wme, so there is nothing
+    to modify).
+    """
+
+
+class ExecutionError(Ops5Error):
+    """Raised when the interpreter cannot carry out an RHS action."""

@@ -1,0 +1,171 @@
+"""The OPS5 match-resolve-act (MRA) interpreter.
+
+The interpreter owns the working memory and a pluggable matcher.  Each
+cycle it queries the matcher's conflict set, applies conflict resolution
+(with refraction), executes the winner's RHS, and feeds the resulting WM
+deltas back to the matcher.  This is the execution loop of paper
+Section 2.1, and the per-cycle delta stream is what the trace recorder
+(:mod:`repro.trace.recorder`) taps to produce simulator input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Mapping, Optional, Sequence, TextIO
+
+from .actions import Delta, execute
+from .ast import Production, Program
+from .conflict import Instantiation, Strategy, select
+from .matcher import Matcher, NaiveMatcher
+from .values import Value
+from .wme import WME, WorkingMemory
+
+
+@dataclass
+class FiringRecord:
+    """One MRA cycle's outcome, for logs, tests and traces."""
+
+    cycle: int
+    instantiation: Instantiation
+    deltas: List[Delta] = field(default_factory=list)
+    output: str = ""
+
+    @property
+    def production_name(self) -> str:
+        return self.instantiation.production.name
+
+
+@dataclass
+class RunResult:
+    """Summary of an interpreter run."""
+
+    firings: List[FiringRecord]
+    halted: bool
+    quiesced: bool
+    cycles: int
+
+    @property
+    def output(self) -> str:
+        """All ``write`` output in firing order."""
+        return "".join(f.output for f in self.firings)
+
+
+class Interpreter:
+    """Drives the MRA loop over a working memory and a matcher.
+
+    Parameters
+    ----------
+    matcher:
+        Any :class:`~repro.ops5.matcher.Matcher`; defaults to the naive
+        reference matcher.  Pass a
+        :class:`~repro.rete.network.ReteNetwork` for the real engine.
+    strategy:
+        Conflict-resolution strategy (LEX default, as in OPS5).
+    out:
+        Stream for ``(write ...)`` output; defaults to stdout suppressed
+        (captured in records only).
+    """
+
+    def __init__(self, matcher: Optional[Matcher] = None,
+                 strategy: Strategy = Strategy.LEX,
+                 out: Optional[TextIO] = None) -> None:
+        self.wm = WorkingMemory()
+        self.matcher: Matcher = matcher if matcher is not None \
+            else NaiveMatcher()
+        self.strategy = strategy
+        self.out = out
+        self._fired: set = set()
+        self._cycle = 0
+        self._halted = False
+        #: Hook invoked as ``listener(cycle, deltas)`` after each firing's
+        #: deltas are pushed to the matcher; the trace recorder uses this.
+        self.delta_listeners: List[Callable[[int, Sequence[Delta]], None]] = []
+        #: Hook invoked as ``listener(cycle)`` at the start of each firing,
+        #: before any WM change of that cycle reaches the matcher.
+        self.cycle_listeners: List[Callable[[int], None]] = []
+
+    # -- loading ----------------------------------------------------------
+
+    def load_program(self, program: Program) -> None:
+        """Register all productions and create the startup wmes."""
+        for production in program.productions:
+            self.matcher.add_production(production)
+        for cls, pairs in program.initial_wmes:
+            self.add_wme(cls, dict(pairs))
+
+    def add_production(self, production: Production) -> None:
+        """Register one production with the matcher."""
+        self.matcher.add_production(production)
+
+    def add_wme(self, cls: str, attrs: Mapping[str, Value]) -> WME:
+        """Add a wme from outside the MRA loop (setup / tests / REPL)."""
+        wme = self.wm.add(cls, attrs)
+        self.matcher.add_wme(wme)
+        self._notify([("+", wme)])
+        return wme
+
+    def remove_wme(self, wme_id: int) -> WME:
+        """Remove a wme from outside the MRA loop."""
+        wme = self.wm.remove(wme_id)
+        self.matcher.remove_wme(wme)
+        self._notify([("-", wme)])
+        return wme
+
+    # -- execution --------------------------------------------------------
+
+    def conflict_set(self) -> Sequence[Instantiation]:
+        """Current conflict set as reported by the matcher."""
+        return self.matcher.conflict_set()
+
+    def step(self) -> Optional[FiringRecord]:
+        """Run one MRA cycle.  Returns None on quiescence or after halt."""
+        if self._halted:
+            return None
+        winner = select(self.matcher.conflict_set(), self.strategy,
+                        self._fired)
+        if winner is None:
+            return None
+        self._cycle += 1
+        for listener in self.cycle_listeners:
+            listener(self._cycle)
+        self._fired.add(winner.key())
+        result = execute(winner, self.wm, self.out)
+        for tag, wme in result.deltas:
+            if tag == "+":
+                self.matcher.add_wme(wme)
+            else:
+                self.matcher.remove_wme(wme)
+        self._notify(result.deltas)
+        if result.halted:
+            self._halted = True
+        return FiringRecord(cycle=self._cycle, instantiation=winner,
+                            deltas=list(result.deltas),
+                            output=result.output)
+
+    def run(self, max_cycles: int = 10_000) -> RunResult:
+        """Run until halt, quiescence, or *max_cycles* firings."""
+        firings: List[FiringRecord] = []
+        quiesced = False
+        while len(firings) < max_cycles:
+            record = self.step()
+            if record is None:
+                quiesced = not self._halted
+                break
+            firings.append(record)
+        return RunResult(firings=firings, halted=self._halted,
+                         quiesced=quiesced, cycles=len(firings))
+
+    # -- internals --------------------------------------------------------
+
+    def _notify(self, deltas: Sequence[Delta]) -> None:
+        for listener in self.delta_listeners:
+            listener(self._cycle, deltas)
+
+
+def run_program(program: Program, matcher: Optional[Matcher] = None,
+                strategy: Strategy = Strategy.LEX,
+                max_cycles: int = 10_000) -> RunResult:
+    """Convenience: load *program* into a fresh interpreter and run it."""
+    interp = Interpreter(matcher=matcher, strategy=strategy)
+    interp.load_program(program)
+    return interp.run(max_cycles=max_cycles)

@@ -1,0 +1,208 @@
+"""Tokenizer for the OPS5 source syntax.
+
+The lexer is a straightforward single-pass scanner.  It understands:
+
+* parentheses and braces,
+* the arrow ``-->`` separating LHS from RHS,
+* CE negation ``-`` (only when it directly precedes ``(``),
+* attribute markers ``^attr``,
+* variables ``<name>``,
+* bar-quoted symbols ``|any text|``,
+* comments ``; to end of line``,
+* bare atoms, which :func:`repro.ops5.values.coerce_atom` types as
+  numbers or symbols.
+
+Positions are tracked so parse errors point at the source.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import LexError
+from .values import Value, coerce_atom
+
+
+class TokenType(enum.Enum):
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LDISJ = "<<"
+    RDISJ = ">>"
+    ARROW = "-->"
+    NEGATION = "-"
+    ATTRIBUTE = "^attr"
+    VARIABLE = "<var>"
+    ATOM = "atom"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    type: TokenType
+    text: str
+    value: Value
+    line: int
+    column: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.type.name}({self.text!r})@{self.line}:{self.column}"
+
+
+#: Characters that terminate a bare atom.
+_DELIMITERS = set(" \t\r\n(){}^;|")
+
+#: Atoms that are operators rather than values when seen in test position.
+OPERATOR_ATOMS = {"=", "<>", "<", "<=", ">", ">=", "<=>"}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source*, returning a list ending with an EOF token.
+
+    Raises
+    ------
+    LexError
+        On unterminated bar-quotes or unterminated variables.
+    """
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(k: int = 1) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance()
+            continue
+        if ch == ";":
+            while i < n and source[i] != "\n":
+                advance()
+            continue
+        tok_line, tok_col = line, col
+        if ch == "(":
+            advance()
+            yield Token(TokenType.LPAREN, "(", "(", tok_line, tok_col)
+            continue
+        if ch == ")":
+            advance()
+            yield Token(TokenType.RPAREN, ")", ")", tok_line, tok_col)
+            continue
+        if ch == "{":
+            advance()
+            yield Token(TokenType.LBRACE, "{", "{", tok_line, tok_col)
+            continue
+        if ch == "}":
+            advance()
+            yield Token(TokenType.RBRACE, "}", "}", tok_line, tok_col)
+            continue
+        if source.startswith("-->", i):
+            advance(3)
+            yield Token(TokenType.ARROW, "-->", "-->", tok_line, tok_col)
+            continue
+        if ch == "-" and i + 1 < n and source[i + 1] == "(":
+            # CE negation; the '(' is produced as its own token next.
+            advance()
+            yield Token(TokenType.NEGATION, "-", "-", tok_line, tok_col)
+            continue
+        if ch == "^":
+            advance()
+            start = i
+            while i < n and source[i] not in _DELIMITERS and source[i] != "<":
+                advance()
+            name = source[start:i]
+            if not name:
+                raise LexError("empty attribute name after '^'",
+                               tok_line, tok_col)
+            yield Token(TokenType.ATTRIBUTE, f"^{name}", name,
+                        tok_line, tok_col)
+            continue
+        if source.startswith("<<", i) and not source.startswith("<<=", i):
+            advance(2)
+            yield Token(TokenType.LDISJ, "<<", "<<", tok_line, tok_col)
+            continue
+        if source.startswith(">>", i):
+            advance(2)
+            yield Token(TokenType.RDISJ, ">>", ">>", tok_line, tok_col)
+            continue
+        if ch == "<":
+            # Could be a variable <x>, or one of the operators <, <=, <>, <=>.
+            rest = source[i:i + 3]
+            if rest.startswith("<=>"):
+                advance(3)
+                yield Token(TokenType.ATOM, "<=>", "<=>", tok_line, tok_col)
+                continue
+            if rest.startswith("<=") or rest.startswith("<>"):
+                op = rest[:2]
+                advance(2)
+                yield Token(TokenType.ATOM, op, op, tok_line, tok_col)
+                continue
+            end = source.find(">", i + 1)
+            newline = source.find("\n", i + 1)
+            if (end == -1 or (newline != -1 and newline < end)
+                    or end == i + 1):
+                # A lone '<' operator (e.g. "^size < 5").
+                advance()
+                yield Token(TokenType.ATOM, "<", "<", tok_line, tok_col)
+                continue
+            name = source[i + 1:end]
+            if any(c in _DELIMITERS for c in name):
+                advance()
+                yield Token(TokenType.ATOM, "<", "<", tok_line, tok_col)
+                continue
+            advance(end - i + 1)
+            yield Token(TokenType.VARIABLE, f"<{name}>", name,
+                        tok_line, tok_col)
+            continue
+        if ch == "|":
+            # Scan to the closing bar; a doubled bar inside is a
+            # literal "|" (see values.format_value).
+            pieces = []
+            j = i + 1
+            while True:
+                end = source.find("|", j)
+                if end == -1:
+                    raise LexError("unterminated |quoted symbol|",
+                                   tok_line, tok_col)
+                pieces.append(source[j:end])
+                if end + 1 < n and source[end + 1] == "|":
+                    pieces.append("|")
+                    j = end + 2
+                    continue
+                break
+            text = "".join(pieces)
+            advance(end - i + 1)
+            yield Token(TokenType.ATOM, f"|{text}|", text, tok_line,
+                        tok_col)
+            continue
+        # Bare atom.
+        start = i
+        while i < n and source[i] not in _DELIMITERS and source[i] != "<":
+            # Allow '<' inside atoms only for operator atoms handled above,
+            # so stop at it here.
+            advance()
+        text = source[start:i]
+        if not text:
+            raise LexError(f"unexpected character {ch!r}", tok_line, tok_col)
+        yield Token(TokenType.ATOM, text, coerce_atom(text),
+                    tok_line, tok_col)
+
+    yield Token(TokenType.EOF, "", "", line, col)

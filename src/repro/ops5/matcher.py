@@ -1,0 +1,138 @@
+"""Matcher protocol and the naive reference matcher.
+
+The interpreter talks to any object implementing :class:`Matcher`:
+``add_production`` at load time, then ``add_wme``/``remove_wme`` as the
+working memory changes, and ``conflict_set()`` whenever the resolve phase
+needs candidates.
+
+:class:`NaiveMatcher` recomputes every production's instantiations from
+scratch against the full working memory on every query.  It is
+exponentially slower than Rete but trivially correct, which makes it the
+oracle for the Rete engine's property-based tests.
+
+The CE-level matching helpers (:func:`match_ce`,
+:func:`find_instantiations`) are shared: the Rete test-suite uses them to
+cross-check join behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
+
+from .ast import ConditionElement, Production, Variable
+from .conflict import Instantiation
+from .values import Value
+from .wme import WME
+
+
+class Matcher(Protocol):
+    """What the MRA interpreter requires of a match engine."""
+
+    def add_production(self, production: Production) -> None:
+        """Register *production* before execution starts."""
+        ...
+
+    def add_wme(self, wme: WME) -> None:
+        """Notify the matcher that *wme* entered working memory."""
+        ...
+
+    def remove_wme(self, wme: WME) -> None:
+        """Notify the matcher that *wme* left working memory."""
+        ...
+
+    def conflict_set(self) -> Sequence[Instantiation]:
+        """Return the current instantiations (order unspecified)."""
+        ...
+
+
+def match_ce(ce: ConditionElement, wme: WME,
+             bindings: Dict[str, Value]) -> Optional[Dict[str, Value]]:
+    """Match one wme against one CE under existing *bindings*.
+
+    Returns the extended bindings on success (the input dict is not
+    mutated), or None on failure.  Variables already present in
+    *bindings* act as consistency tests; new variables bind on their
+    first EQ occurrence.  A non-EQ predicate against an unbound variable
+    cannot be evaluated and fails the match — OPS5 requires such
+    variables to be bound earlier in the production.
+    """
+    if wme.cls != ce.cls:
+        return None
+    local = dict(bindings)
+    for test in ce.tests:
+        actual = wme.get(test.attr)
+        operand = test.operand
+        if isinstance(operand, Variable):
+            if operand.name in local:
+                if not test.predicate.apply(actual, local[operand.name]):
+                    return None
+            else:
+                if test.predicate.value != "=":
+                    return None
+                local[operand.name] = actual
+        else:
+            # Constant or << >> disjunction: decidable from the wme.
+            if not test.evaluate_constant(actual):
+                return None
+    return local
+
+
+def find_instantiations(production: Production,
+                        wmes: Iterable[WME]) -> List[Instantiation]:
+    """All instantiations of *production* against the wme collection.
+
+    Performs a depth-first join over the positive CEs in LHS order, then
+    filters by the negated CEs.  Negated CEs may mention variables bound
+    by earlier positive CEs (consistency tests) or fresh variables
+    (which act as wildcards inside the negation).
+    """
+    wme_list = list(wmes)
+    results: List[Instantiation] = []
+
+    positive = [ce for ce in production.lhs if not ce.negated]
+
+    def extend(ce_idx: int, matched: Tuple[WME, ...],
+               bindings: Dict[str, Value]) -> None:
+        if ce_idx == len(production.lhs):
+            results.append(Instantiation(production=production,
+                                         wmes=matched,
+                                         bindings=dict(bindings)))
+            return
+        ce = production.lhs[ce_idx]
+        if ce.negated:
+            for wme in wme_list:
+                if match_ce(ce, wme, bindings) is not None:
+                    return  # negation violated on this branch
+            extend(ce_idx + 1, matched, bindings)
+            return
+        for wme in wme_list:
+            new_bindings = match_ce(ce, wme, bindings)
+            if new_bindings is not None:
+                extend(ce_idx + 1, matched + (wme,), new_bindings)
+
+    extend(0, (), {})
+    assert all(len(inst.wmes) == len(positive) for inst in results)
+    return results
+
+
+class NaiveMatcher:
+    """Brute-force matcher: full re-match on every conflict-set query."""
+
+    def __init__(self) -> None:
+        self._productions: List[Production] = []
+        self._wmes: Dict[int, WME] = {}
+
+    def add_production(self, production: Production) -> None:
+        self._productions.append(production)
+
+    def add_wme(self, wme: WME) -> None:
+        self._wmes[wme.wme_id] = wme
+
+    def remove_wme(self, wme: WME) -> None:
+        self._wmes.pop(wme.wme_id, None)
+
+    def conflict_set(self) -> List[Instantiation]:
+        out: List[Instantiation] = []
+        for production in self._productions:
+            out.extend(find_instantiations(production, self._wmes.values()))
+        return out

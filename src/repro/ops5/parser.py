@@ -1,0 +1,349 @@
+"""Recursive-descent parser producing :mod:`repro.ops5.ast` objects.
+
+Grammar (informally)::
+
+    program     := { production | literalize | startup } EOF
+    production  := "(" "p" NAME ce+ "-->" action* ")"
+    ce          := ["-"] "(" CLASS ce-item* ")"
+    ce-item     := ATTR value-spec
+    value-spec  := term | "{" restriction+ "}"
+    restriction := [pred] term
+    term        := ATOM | VARIABLE
+    pred        := "=" | "<>" | "<" | "<=" | ">" | ">=" | "<=>"
+    action      := "(" ("make"|"remove"|"modify"|"write"|"halt"|"bind") ... ")"
+    literalize  := "(" "literalize" CLASS ATTR* ")"      ; accepted, recorded
+    startup     := "(" "startup" make-form* ")"          ; initial WM
+
+``literalize`` declarations are accepted for source compatibility with
+classic OPS5 programs; since our wmes are attribute-named maps, the
+declarations are validated but impose no layout.  A ``startup`` form
+collects ``(make ...)`` actions executed before the first MRA cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .ast import (COMPUTE_OPS, Action, AttrTest, BindAction, ComputeExpr,
+                  ConditionElement, Constant, Disjunction, HaltAction,
+                  MakeAction, ModifyAction, Operand, Predicate, Production,
+                  Program, RemoveAction, RHSValue, Variable, WriteAction)
+from .errors import ParseError
+from .lexer import OPERATOR_ATOMS, Token, TokenType, tokenize
+from .values import Value
+
+_PREDICATES = {
+    "=": Predicate.EQ,
+    "<>": Predicate.NE,
+    "<": Predicate.LT,
+    "<=": Predicate.LE,
+    ">": Predicate.GT,
+    ">=": Predicate.GE,
+    "<=>": Predicate.SAME_TYPE,
+}
+
+
+class _TokenStream:
+    """Cursor over the token list with error-reporting helpers."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def next(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.type is not TokenType.EOF:
+            self._pos += 1
+        return tok
+
+    def expect(self, ttype: TokenType, what: str) -> Token:
+        tok = self.next()
+        if tok.type is not ttype:
+            raise ParseError(
+                f"expected {what}, found {tok.text!r}", tok.line, tok.column)
+        return tok
+
+    def at(self, ttype: TokenType) -> bool:
+        return self.peek().type is ttype
+
+
+def parse_program(source: str) -> Program:
+    """Parse a full OPS5 source string into a :class:`Program`."""
+    stream = _TokenStream(tokenize(source))
+    productions: List[Production] = []
+    initial: List[Tuple[str, Tuple[Tuple[str, Value], ...]]] = []
+    literalized: Dict[str, Tuple[str, ...]] = {}
+
+    while not stream.at(TokenType.EOF):
+        stream.expect(TokenType.LPAREN, "'('")
+        head = stream.expect(TokenType.ATOM, "form head")
+        if head.value == "p":
+            productions.append(_parse_production_body(stream))
+        elif head.value == "literalize":
+            cls, attrs = _parse_literalize_body(stream)
+            literalized[cls] = attrs
+        elif head.value == "startup":
+            initial.extend(_parse_startup_body(stream))
+        else:
+            raise ParseError(f"unknown top-level form {head.text!r}",
+                             head.line, head.column)
+
+    return Program(productions=tuple(productions),
+                   initial_wmes=tuple(initial))
+
+
+def parse_production(source: str) -> Production:
+    """Parse a single ``(p ...)`` form; convenience for tests and examples."""
+    program = parse_program(source)
+    if len(program.productions) != 1:
+        raise ParseError(
+            f"expected exactly one production, found "
+            f"{len(program.productions)}")
+    return program.productions[0]
+
+
+# ---------------------------------------------------------------------------
+# Form bodies (the opening "(" and head atom are already consumed)
+# ---------------------------------------------------------------------------
+
+def _parse_production_body(stream: _TokenStream) -> Production:
+    name_tok = stream.expect(TokenType.ATOM, "production name")
+    name = str(name_tok.value)
+
+    ces: List[ConditionElement] = []
+    while not stream.at(TokenType.ARROW):
+        negated = False
+        if stream.at(TokenType.NEGATION):
+            stream.next()
+            negated = True
+        ces.append(_parse_ce(stream, negated))
+        if stream.at(TokenType.EOF):
+            raise ParseError(f"production {name}: missing '-->'")
+    stream.expect(TokenType.ARROW, "'-->'")
+
+    actions: List[Action] = []
+    while not stream.at(TokenType.RPAREN):
+        actions.append(_parse_action(stream))
+        if stream.at(TokenType.EOF):
+            raise ParseError(f"production {name}: unterminated RHS")
+    stream.expect(TokenType.RPAREN, "')'")
+
+    return Production(name=name, lhs=tuple(ces), rhs=tuple(actions))
+
+
+def _parse_ce(stream: _TokenStream, negated: bool) -> ConditionElement:
+    stream.expect(TokenType.LPAREN, "'(' starting a condition element")
+    cls_tok = stream.expect(TokenType.ATOM, "element class")
+    cls = str(cls_tok.value)
+    tests: List[AttrTest] = []
+    while not stream.at(TokenType.RPAREN):
+        attr_tok = stream.expect(TokenType.ATTRIBUTE, "'^attribute'")
+        attr = str(attr_tok.value)
+        tests.extend(_parse_value_spec(stream, attr))
+    stream.expect(TokenType.RPAREN, "')'")
+    return ConditionElement(cls=cls, tests=tuple(tests), negated=negated)
+
+
+def _parse_value_spec(stream: _TokenStream, attr: str) -> List[AttrTest]:
+    """Parse the value position after ``^attr``: a term or ``{ ... }``."""
+    if stream.at(TokenType.LBRACE):
+        stream.next()
+        tests: List[AttrTest] = []
+        while not stream.at(TokenType.RBRACE):
+            tests.append(_parse_restriction(stream, attr))
+            if stream.at(TokenType.EOF):
+                raise ParseError("unterminated '{' restriction")
+        stream.next()
+        if not tests:
+            raise ParseError("empty '{}' restriction")
+        return tests
+    return [_parse_restriction(stream, attr)]
+
+
+def _parse_restriction(stream: _TokenStream, attr: str) -> AttrTest:
+    predicate = Predicate.EQ
+    tok = stream.peek()
+    if tok.type is TokenType.ATOM and tok.value in _PREDICATES:
+        stream.next()
+        predicate = _PREDICATES[str(tok.value)]
+        tok = stream.peek()
+    if stream.at(TokenType.LDISJ):
+        if predicate is not Predicate.EQ:
+            raise ParseError("a << >> disjunction only supports the "
+                             "implicit equality test",
+                             tok.line, tok.column)
+        return AttrTest(attr=attr, predicate=Predicate.EQ,
+                        operand=_parse_disjunction(stream))
+    operand = _parse_term(stream)
+    return AttrTest(attr=attr, predicate=predicate, operand=operand)
+
+
+def _parse_disjunction(stream: _TokenStream) -> Disjunction:
+    opener = stream.expect(TokenType.LDISJ, "'<<'")
+    values = []
+    while not stream.at(TokenType.RDISJ):
+        tok = stream.next()
+        if tok.type is not TokenType.ATOM or tok.value in OPERATOR_ATOMS:
+            raise ParseError("only constant values may appear inside "
+                             f"'<< >>', found {tok.text!r}",
+                             tok.line, tok.column)
+        values.append(tok.value)
+    stream.next()
+    if not values:
+        raise ParseError("empty '<< >>' disjunction",
+                         opener.line, opener.column)
+    return Disjunction(tuple(values))
+
+
+def _parse_rhs_value(stream: _TokenStream) -> RHSValue:
+    """A value position on the RHS: a term or ``(compute ...)``."""
+    if stream.at(TokenType.LPAREN):
+        stream.next()
+        head = stream.expect(TokenType.ATOM, "'compute'")
+        if head.value != "compute":
+            raise ParseError(f"unsupported RHS form ({head.text} ...)",
+                             head.line, head.column)
+        items: List = []
+        expecting_term = True
+        while not stream.at(TokenType.RPAREN):
+            if expecting_term:
+                items.append(_parse_term(stream))
+            else:
+                tok = stream.expect(TokenType.ATOM, "an operator")
+                if tok.value not in COMPUTE_OPS:
+                    raise ParseError(
+                        f"unknown compute operator {tok.text!r}",
+                        tok.line, tok.column)
+                items.append(str(tok.value))
+            expecting_term = not expecting_term
+        stream.next()
+        if not items or expecting_term:
+            raise ParseError("compute needs terms separated by "
+                             "operators", head.line, head.column)
+        return RHSValue(ComputeExpr(tuple(items)))
+    return RHSValue(_parse_term(stream))
+
+
+def _parse_term(stream: _TokenStream) -> Operand:
+    tok = stream.next()
+    if tok.type is TokenType.VARIABLE:
+        return Variable(str(tok.value))
+    if tok.type is TokenType.ATOM:
+        if tok.value in OPERATOR_ATOMS:
+            raise ParseError(f"operator {tok.text!r} needs a value after it",
+                             tok.line, tok.column)
+        return Constant(tok.value)
+    raise ParseError(f"expected a value, found {tok.text!r}",
+                     tok.line, tok.column)
+
+
+def _parse_action(stream: _TokenStream) -> Action:
+    stream.expect(TokenType.LPAREN, "'(' starting an action")
+    head = stream.expect(TokenType.ATOM, "action name")
+    kind = str(head.value)
+    if kind == "make":
+        cls_tok = stream.expect(TokenType.ATOM, "element class")
+        assignments = _parse_assignments(stream)
+        stream.expect(TokenType.RPAREN, "')'")
+        return MakeAction(cls=str(cls_tok.value), assignments=assignments)
+    if kind == "remove":
+        indices: List[int] = []
+        while not stream.at(TokenType.RPAREN):
+            tok = stream.expect(TokenType.ATOM, "CE index")
+            if not isinstance(tok.value, int):
+                raise ParseError(f"remove expects integer CE indices, "
+                                 f"found {tok.text!r}", tok.line, tok.column)
+            indices.append(tok.value)
+        stream.next()
+        if not indices:
+            raise ParseError("remove needs at least one CE index",
+                             head.line, head.column)
+        return RemoveAction(ce_indices=tuple(indices))
+    if kind == "modify":
+        tok = stream.expect(TokenType.ATOM, "CE index")
+        if not isinstance(tok.value, int):
+            raise ParseError(f"modify expects an integer CE index, "
+                             f"found {tok.text!r}", tok.line, tok.column)
+        assignments = _parse_assignments(stream)
+        stream.expect(TokenType.RPAREN, "')'")
+        return ModifyAction(ce_index=tok.value, assignments=assignments)
+    if kind == "write":
+        values: List[RHSValue] = []
+        while not stream.at(TokenType.RPAREN):
+            if stream.at(TokenType.LPAREN):
+                # (crlf) prints a newline; (compute ...) prints a number.
+                if _peek_paren_head(stream) == "crlf":
+                    stream.next()
+                    stream.next()
+                    stream.expect(TokenType.RPAREN, "')'")
+                    values.append(RHSValue(Constant("\n")))
+                    continue
+                values.append(_parse_rhs_value(stream))
+                continue
+            values.append(RHSValue(_parse_term(stream)))
+        stream.next()
+        return WriteAction(values=tuple(values))
+    if kind == "halt":
+        stream.expect(TokenType.RPAREN, "')'")
+        return HaltAction()
+    if kind == "bind":
+        var_tok = stream.expect(TokenType.VARIABLE, "a <variable>")
+        value = _parse_rhs_value(stream)
+        stream.expect(TokenType.RPAREN, "')'")
+        return BindAction(variable=str(var_tok.value), value=value)
+    raise ParseError(f"unknown action {head.text!r}", head.line, head.column)
+
+
+def _peek_paren_head(stream: _TokenStream) -> str:
+    """Name of the form after an LPAREN at the cursor (without consuming)."""
+    tok = stream._tokens[stream._pos + 1]
+    return str(tok.value) if tok.type is TokenType.ATOM else ""
+
+
+def _parse_assignments(
+        stream: _TokenStream) -> Tuple[Tuple[str, RHSValue], ...]:
+    assignments: List[Tuple[str, RHSValue]] = []
+    while stream.at(TokenType.ATTRIBUTE):
+        attr_tok = stream.next()
+        value = _parse_rhs_value(stream)
+        assignments.append((str(attr_tok.value), value))
+    return tuple(assignments)
+
+
+def _parse_literalize_body(
+        stream: _TokenStream) -> Tuple[str, Tuple[str, ...]]:
+    cls_tok = stream.expect(TokenType.ATOM, "element class")
+    attrs: List[str] = []
+    while not stream.at(TokenType.RPAREN):
+        tok = stream.expect(TokenType.ATOM, "attribute name")
+        attrs.append(str(tok.value))
+    stream.next()
+    return str(cls_tok.value), tuple(attrs)
+
+
+def _parse_startup_body(
+        stream: _TokenStream
+) -> List[Tuple[str, Tuple[Tuple[str, Value], ...]]]:
+    wmes: List[Tuple[str, Tuple[Tuple[str, Value], ...]]] = []
+    while not stream.at(TokenType.RPAREN):
+        stream.expect(TokenType.LPAREN, "'(' starting a make form")
+        head = stream.expect(TokenType.ATOM, "'make'")
+        if head.value != "make":
+            raise ParseError("startup forms must be (make ...) actions",
+                             head.line, head.column)
+        cls_tok = stream.expect(TokenType.ATOM, "element class")
+        pairs: List[Tuple[str, Value]] = []
+        while stream.at(TokenType.ATTRIBUTE):
+            attr_tok = stream.next()
+            val_tok = stream.next()
+            if val_tok.type is not TokenType.ATOM:
+                raise ParseError("startup values must be constants",
+                                 val_tok.line, val_tok.column)
+            pairs.append((str(attr_tok.value), val_tok.value))
+        stream.expect(TokenType.RPAREN, "')'")
+        wmes.append((str(cls_tok.value), tuple(pairs)))
+    stream.next()
+    return wmes

@@ -1,0 +1,89 @@
+"""Value model for OPS5 working-memory attribute values.
+
+OPS5 values are *atoms*: symbols (represented here as Python ``str``) or
+numbers (``int`` / ``float``).  The special symbol ``nil`` denotes an
+unset attribute; a wme attribute that was never assigned compares equal
+to ``nil``, which lets condition elements test for absence of a value.
+
+This module centralises the small amount of value logic the rest of the
+system needs: type checks, ordering semantics for the OPS5 relational
+predicates, and canonical formatting.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+#: The OPS5 "no value" symbol.  Attributes not present on a wme read as NIL.
+NIL: str = "nil"
+
+#: An attribute value: a symbol (str) or a number (int | float).
+Value = Union[str, int, float]
+
+
+def is_number(value: Value) -> bool:
+    """Return True if *value* is numeric (bool is excluded on purpose)."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def is_symbol(value: Value) -> bool:
+    """Return True if *value* is a symbolic atom."""
+    return isinstance(value, str)
+
+
+def values_equal(a: Value, b: Value) -> bool:
+    """OPS5 equality: numbers compare numerically, symbols literally.
+
+    ``1`` and ``1.0`` are equal; the symbol ``"1"`` and the number ``1``
+    are not.  This mirrors OPS5, where the lexer fixes each atom's type.
+    """
+    if is_number(a) and is_number(b):
+        return a == b
+    if is_symbol(a) and is_symbol(b):
+        return a == b
+    return False
+
+
+def values_ordered(a: Value, b: Value) -> bool:
+    """Return True if *a* and *b* can be compared with ``<``/``>`` etc.
+
+    OPS5 only defines the relational predicates on pairs of numbers.
+    A relational test against a symbol simply fails to match rather than
+    raising, which is the behaviour the predicates in :mod:`.ast` follow.
+    """
+    return is_number(a) and is_number(b)
+
+
+def format_value(value: Value) -> str:
+    """Render *value* in OPS5 source syntax.
+
+    Symbols containing whitespace or syntax characters are quoted with
+    vertical bars, matching the OPS5 ``|quoted symbol|`` escape; a
+    literal ``|`` inside a quoted symbol is doubled (``||``), a small
+    extension over classic OPS5 (which simply could not express it).
+    """
+    if is_number(value):
+        # Integral floats print without the trailing .0 so that round
+        # trips through the parser preserve the value's type.
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        return str(value)
+    needs_quote = (any(c.isspace() or c in "()^{}<>|;"
+                       for c in value)
+                   or value == "")
+    if needs_quote:
+        return "|" + value.replace("|", "||") + "|"
+    return value
+
+
+def coerce_atom(text: str) -> Value:
+    """Convert source text to an atom: number if it parses, else symbol."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text

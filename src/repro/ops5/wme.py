@@ -1,0 +1,150 @@
+"""Working-memory elements and the working memory itself.
+
+A working-memory element (wme) is a record with a class name and a set of
+attribute/value pairs (paper Section 2.1).  Every wme carries a unique
+integer id — the ids are what flow through Rete tokens — and a *timestamp*
+(the MRA cycle in which it was created) used by the LEX/MEA conflict
+resolution strategies.
+
+Wmes are immutable once created.  OPS5's ``modify`` action is implemented
+as a delete of the old wme followed by an add of a new wme with a fresh
+id, exactly the semantics that give rise to the paper's
+"multiple-modify-effect" (Section 5.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from .errors import ExecutionError
+from .values import NIL, Value, format_value
+
+
+@dataclass(frozen=True)
+class WME:
+    """A single immutable working-memory element.
+
+    Parameters
+    ----------
+    wme_id:
+        Unique id, assigned by :class:`WorkingMemory`.
+    cls:
+        The element class name, e.g. ``"block"``.
+    attrs:
+        Mapping from attribute name to value.  Attributes absent from the
+        mapping read as :data:`~repro.ops5.values.NIL`.
+    timestamp:
+        The recency tag used for conflict resolution: wmes created later
+        carry larger timestamps.
+    """
+
+    wme_id: int
+    cls: str
+    attrs: Mapping[str, Value] = field(default_factory=dict)
+    timestamp: int = 0
+
+    def get(self, attr: str) -> Value:
+        """Return the value of *attr*, or NIL when unset."""
+        return self.attrs.get(attr, NIL)
+
+    def with_updates(self, updates: Mapping[str, Value],
+                     wme_id: int, timestamp: int) -> "WME":
+        """Return a new wme: this one's attributes overridden by *updates*.
+
+        Used to implement ``modify``; the result carries the fresh id and
+        timestamp supplied by the working memory.
+        """
+        merged: Dict[str, Value] = dict(self.attrs)
+        merged.update(updates)
+        return WME(wme_id=wme_id, cls=self.cls, attrs=merged,
+                   timestamp=timestamp)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [self.cls]
+        for attr in sorted(self.attrs):
+            parts.append(f"^{attr} {format_value(self.attrs[attr])}")
+        return f"({' '.join(parts)})"
+
+
+class WorkingMemory:
+    """The set of live wmes, with id assignment and recency tracking.
+
+    The working memory is deliberately dumb: it stores wmes and hands out
+    ids/timestamps.  Matching is the matcher's job; the interpreter calls
+    :meth:`add` / :meth:`remove` and forwards the resulting deltas to the
+    matcher so that Rete sees an incremental change stream.
+    """
+
+    def __init__(self) -> None:
+        self._wmes: Dict[int, WME] = {}
+        self._next_id = 1
+        self._clock = 0
+
+    def __len__(self) -> int:
+        return len(self._wmes)
+
+    def __iter__(self) -> Iterator[WME]:
+        return iter(self._wmes.values())
+
+    def __contains__(self, wme_id: int) -> bool:
+        return wme_id in self._wmes
+
+    def get(self, wme_id: int) -> Optional[WME]:
+        """Return the live wme with *wme_id*, or None if absent/removed."""
+        return self._wmes.get(wme_id)
+
+    def advance_clock(self) -> int:
+        """Advance the recency clock; the interpreter calls this per action.
+
+        OPS5 gives each *action*, not each cycle, a distinct time tag so
+        that two wmes made by the same firing are still ordered.
+        """
+        self._clock += 1
+        return self._clock
+
+    @property
+    def clock(self) -> int:
+        """Current recency clock value."""
+        return self._clock
+
+    def add(self, cls: str, attrs: Mapping[str, Value]) -> WME:
+        """Create, store and return a new wme of class *cls*."""
+        wme = WME(wme_id=self._next_id, cls=cls, attrs=dict(attrs),
+                  timestamp=self.advance_clock())
+        self._next_id += 1
+        self._wmes[wme.wme_id] = wme
+        return wme
+
+    def remove(self, wme_id: int) -> WME:
+        """Remove and return the wme with *wme_id*.
+
+        Raises
+        ------
+        ExecutionError
+            If no live wme has that id (e.g. it was already removed by an
+            earlier action of the same firing).
+        """
+        try:
+            return self._wmes.pop(wme_id)
+        except KeyError:
+            raise ExecutionError(f"no live wme with id {wme_id}") from None
+
+    def modify(self, wme_id: int,
+               updates: Mapping[str, Value]) -> Tuple[WME, WME]:
+        """Delete wme *wme_id* and add an updated copy with a fresh id.
+
+        Returns ``(old, new)``.  This is the delete-then-add semantics the
+        paper relies on when describing the multiple-modify effect.
+        """
+        old = self.remove(wme_id)
+        new = WME(wme_id=self._next_id, cls=old.cls,
+                  attrs={**old.attrs, **updates},
+                  timestamp=self.advance_clock())
+        self._next_id += 1
+        self._wmes[new.wme_id] = new
+        return old, new
+
+    def snapshot(self) -> Tuple[WME, ...]:
+        """Return the live wmes as an immutable tuple (test convenience)."""
+        return tuple(self._wmes.values())

@@ -1,0 +1,215 @@
+"""Compilation of OPS5 productions into the Rete network.
+
+The builder analyses each condition element into:
+
+* an **alpha specification** — class test, constant tests and intra-CE
+  variable-consistency tests (everything decidable from one wme);
+* **equality join tests** against variables bound by earlier CEs — these
+  become the hash-bucket key of the two-input node (paper Section 3.1);
+* **residual join tests** — non-equality predicates against earlier
+  bindings, evaluated after the bucket lookup;
+* **new bindings** — variables first bound by this CE.
+
+Nodes are *shared* between productions whenever the parent beta node, the
+alpha pattern and all tests coincide — the sharing whose removal the
+paper studies in Section 5.2.1 (Figure 5-3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from ..ops5.ast import (AttrTest, ConditionElement, Predicate,
+                        Production, Variable)
+from .nodes import (AlphaPattern, BetaNode, BindingSpec, EqTest, IntraTest,
+                    JoinNode, NegativeNode, ProductionNode, ResidualTest)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .network import ReteNetwork
+
+
+@dataclass(frozen=True)
+class CEAnalysis:
+    """The compiled form of one condition element, given prior bindings."""
+
+    cls: str
+    const_tests: Tuple[AttrTest, ...]
+    intra_tests: Tuple[IntraTest, ...]
+    always_false: bool
+    eq_tests: Tuple[EqTest, ...]
+    residual_tests: Tuple[ResidualTest, ...]
+    new_bindings: Tuple[BindingSpec, ...]
+
+
+def analyze_ce(ce: ConditionElement, bound: Set[str]) -> CEAnalysis:
+    """Split *ce*'s tests into alpha/join/binding components.
+
+    *bound* is the set of variables bound by earlier positive CEs.
+    Mirrors the sequential semantics of the naive matcher exactly,
+    including the always-fails case of a non-equality predicate applied
+    to a variable with no prior binding.
+    """
+    const_tests: List[AttrTest] = []
+    intra_tests: List[IntraTest] = []
+    eq_tests: List[EqTest] = []
+    residual_tests: List[ResidualTest] = []
+    new_bindings: List[BindingSpec] = []
+    ce_local: Dict[str, str] = {}  # var -> attr of first in-CE binding
+    always_false = False
+
+    for test in ce.tests:
+        operand = test.operand
+        if test.is_constant_test():
+            const_tests.append(test)
+            continue
+        assert isinstance(operand, Variable)
+        var = operand.name
+        if var in bound:
+            if test.predicate is Predicate.EQ:
+                eq_tests.append((var, test.attr))
+            else:
+                residual_tests.append((var, test.predicate, test.attr))
+        elif var in ce_local:
+            intra_tests.append((ce_local[var], test.predicate, test.attr))
+        else:
+            if test.predicate is Predicate.EQ:
+                ce_local[var] = test.attr
+                new_bindings.append((var, test.attr))
+            else:
+                # Unbound variable under a relational predicate: the CE
+                # can never match (naive-matcher parity).
+                always_false = True
+
+    return CEAnalysis(
+        cls=ce.cls,
+        const_tests=tuple(const_tests),
+        intra_tests=tuple(intra_tests),
+        always_false=always_false,
+        eq_tests=tuple(sorted(eq_tests)),
+        residual_tests=tuple(sorted(residual_tests,
+                                    key=lambda t: (t[0], t[1].value, t[2]))),
+        new_bindings=tuple(sorted(new_bindings)),
+    )
+
+
+#: Identifies a beta node's position for sharing: either the CE1 alpha
+#: pattern (+ its binding spec) or an interior node id.
+ParentKey = Tuple
+
+
+class NetworkBuilder:
+    """Incrementally compiles productions into a :class:`ReteNetwork`.
+
+    One builder per network; it owns the sharing tables.
+    """
+
+    def __init__(self, network: "ReteNetwork") -> None:
+        self.network = network
+        self._alpha_by_sig: Dict[Tuple, AlphaPattern] = {}
+        self._node_by_share_key: Dict[Tuple, BetaNode] = {}
+
+    # -- alpha network --------------------------------------------------------
+
+    def _get_alpha(self, analysis: CEAnalysis) -> AlphaPattern:
+        probe = AlphaPattern(pattern_id=-1, cls=analysis.cls,
+                             const_tests=analysis.const_tests,
+                             intra_tests=analysis.intra_tests,
+                             always_false=analysis.always_false)
+        sig = probe.signature()
+        existing = self._alpha_by_sig.get(sig)
+        if existing is not None:
+            return existing
+        pattern = AlphaPattern(pattern_id=self.network.new_pattern_id(),
+                               cls=analysis.cls,
+                               const_tests=analysis.const_tests,
+                               intra_tests=analysis.intra_tests,
+                               always_false=analysis.always_false)
+        self._alpha_by_sig[sig] = pattern
+        self.network.register_alpha(pattern)
+        return pattern
+
+    # -- beta network -----------------------------------------------------------
+
+    def add_production(self, production: Production) -> ProductionNode:
+        """Compile *production*, sharing nodes with earlier productions."""
+        bound: Set[str] = set()
+        parent_key: Optional[ParentKey] = None
+        parent_node: Optional[BetaNode] = None
+        first_alpha: Optional[AlphaPattern] = None
+        first_bindings: Tuple[BindingSpec, ...] = ()
+        used_nodes: List[int] = []
+
+        for index, ce in enumerate(production.lhs):
+            analysis = analyze_ce(ce, bound)
+            alpha = self._get_alpha(analysis)
+
+            if index == 0:
+                # CE1 contributes no two-input node; its unit tokens feed
+                # the next node's left input directly.
+                first_alpha = alpha
+                first_bindings = analysis.new_bindings
+                parent_key = ("alpha", alpha.pattern_id,
+                              analysis.new_bindings)
+                bound.update(var for var, _ in analysis.new_bindings)
+                continue
+
+            kind = "negative" if ce.negated else "join"
+            share_key = (parent_key, alpha.pattern_id, kind,
+                         analysis.eq_tests, analysis.residual_tests,
+                         analysis.new_bindings)
+            node = (self._node_by_share_key.get(share_key)
+                    if self.network.share else None)
+            if node is None:
+                label = f"{production.name}/ce{index + 1}"
+                if ce.negated:
+                    node = NegativeNode(
+                        node_id=self.network.new_node_id(), label=label,
+                        network=self.network, eq_tests=analysis.eq_tests,
+                        residual_tests=analysis.residual_tests)
+                else:
+                    node = JoinNode(
+                        node_id=self.network.new_node_id(), label=label,
+                        network=self.network, eq_tests=analysis.eq_tests,
+                        residual_tests=analysis.residual_tests,
+                        new_bindings=analysis.new_bindings)
+                if not self.network.share:
+                    # Keep keys unique so the node census stays accurate.
+                    share_key = share_key + (node,)
+                self._node_by_share_key[share_key] = node
+                self.network.register_beta(node)
+                # Wire the right input to the alpha pattern...
+                self.network.subscribe(alpha, node, side="right")
+                # ...and the left input to the parent.
+                if parent_node is None:
+                    assert first_alpha is not None
+                    self.network.subscribe(first_alpha, node, side="left",
+                                           unit_bindings=first_bindings)
+                else:
+                    parent_node.children.append(node)
+
+            if not ce.negated:
+                bound.update(var for var, _ in analysis.new_bindings)
+            parent_key = ("node", node.node_id)
+            parent_node = node
+            used_nodes.append(node.node_id)
+
+        pnode = ProductionNode(node_id=self.network.new_node_id(),
+                               label=f"{production.name}/terminal",
+                               network=self.network, production=production)
+        self.network.register_terminal(pnode)
+        if parent_node is None:
+            # Single positive CE: unit tokens go straight to the terminal.
+            assert first_alpha is not None
+            self.network.subscribe(first_alpha, pnode, side="left",
+                                   unit_bindings=first_bindings)
+        else:
+            parent_node.children.append(pnode)
+        self.network.production_nodes[production.name] = used_nodes
+        return pnode
+
+    # -- introspection ------------------------------------------------------------
+
+    def shared_node_count(self) -> int:
+        """Number of distinct two-input nodes (for sharing tests)."""
+        return len(self._node_by_share_key)

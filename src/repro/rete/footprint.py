@@ -1,0 +1,148 @@
+"""Memory-footprint estimation and node partitioning (paper Section 3.1).
+
+The paper's space discussion: the Rete net encoded in the OPS83 style
+(in-line procedure expansion) costs "about 1-2 Mbytes" for a ~1000
+production program, while "a message-passing processor may have only
+10-20 kbytes of local memory".  The two proposed remedies, both
+implemented here:
+
+1. **Partition the nodes** so that each processor evaluates nodes from
+   only one partition; the hash function preserves node-id bits so
+   routing stays consistent.  "To avoid contention, nodes belonging to
+   a single production are put into different partitions."
+2. **Encode two-input nodes as 14-byte structures** indexed by node-id
+   instead of expanding them in-line, trading a small register-load
+   cost per activation.
+
+These are planning tools, not simulated costs: they answer "how many
+partitions / which encoding do I need to fit this rule set into a given
+local memory".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .network import ReteNetwork
+
+#: In-line (OPS83 software technology) expansion cost per two-input
+#: node.  Calibrated to the paper's figure: ~1000 productions (about
+#: two joins each) occupying 1-2 MB puts a node at roughly 750 bytes.
+INLINE_BYTES_PER_NODE = 750
+
+#: The compact encoding of the paper: "encode the two-input nodes into
+#: structures of 14 bytes, indexed by the node-id".
+STRUCT_BYTES_PER_NODE = 14
+
+#: Shared interpreter code a processor needs alongside the table-driven
+#: encoding (the paper pays "a small performance penalty of loading the
+#: required information into registers" instead of duplicated code).
+STRUCT_INTERPRETER_BYTES = 4096
+
+
+def inline_bytes(network: ReteNetwork) -> int:
+    """Estimated code size with in-line expansion of every node."""
+    return network.node_count() * INLINE_BYTES_PER_NODE
+
+
+def struct_bytes(network: ReteNetwork) -> int:
+    """Estimated size with the 14-byte structure encoding."""
+    return (network.node_count() * STRUCT_BYTES_PER_NODE
+            + STRUCT_INTERPRETER_BYTES)
+
+
+def partitions_needed(network: ReteNetwork, local_memory_bytes: int,
+                      encoding: str = "struct") -> int:
+    """Minimum partitions so one partition fits in local memory.
+
+    ``encoding`` is ``"inline"`` or ``"struct"``.  The struct encoding
+    must fit the shared interpreter in every partition.
+    """
+    if local_memory_bytes <= 0:
+        raise ValueError("local memory must be positive")
+    n_nodes = network.node_count()
+    if n_nodes == 0:
+        return 1
+    if encoding == "inline":
+        per_node = INLINE_BYTES_PER_NODE
+        fixed = 0
+    elif encoding == "struct":
+        per_node = STRUCT_BYTES_PER_NODE
+        fixed = STRUCT_INTERPRETER_BYTES
+    else:
+        raise ValueError(f"unknown encoding {encoding!r}")
+    budget = local_memory_bytes - fixed
+    if budget < per_node:
+        raise ValueError(
+            f"local memory of {local_memory_bytes} bytes cannot hold "
+            f"even one node under the {encoding} encoding")
+    nodes_per_partition = budget // per_node
+    return -(-n_nodes // nodes_per_partition)  # ceil division
+
+
+@dataclass
+class Partitioning:
+    """A node→partition assignment with its quality diagnostics."""
+
+    assignment: Dict[int, int]
+    n_partitions: int
+    #: productions that could not keep all their nodes in distinct
+    #: partitions (possible when a production has more two-input nodes
+    #: than there are partitions, or through sharing constraints)
+    conflicted_productions: List[str]
+
+    def partition_sizes(self) -> List[int]:
+        sizes = [0] * self.n_partitions
+        for partition in self.assignment.values():
+            sizes[partition] += 1
+        return sizes
+
+
+def partition_nodes(network: ReteNetwork,
+                    n_partitions: int) -> Partitioning:
+    """Assign two-input nodes to partitions, spreading each production.
+
+    Greedy: productions are processed in definition order; each of a
+    production's (not yet assigned) nodes goes to the least-loaded
+    partition not already used by that production — the paper's
+    "nodes belonging to a single production are put into different
+    partitions" contention rule.  Shared nodes keep their first
+    assignment; a production whose chain cannot avoid reuse (more nodes
+    than partitions, or sharing pins) is reported in
+    ``conflicted_productions``.
+    """
+    if n_partitions < 1:
+        raise ValueError("need at least one partition")
+    assignment: Dict[int, int] = {}
+    loads = [0] * n_partitions
+    conflicted: List[str] = []
+
+    for name, node_ids in network.production_nodes.items():
+        used_here = set()
+        conflict = False
+        for node_id in node_ids:
+            if node_id in assignment:
+                partition = assignment[node_id]
+                if partition in used_here:
+                    conflict = True
+                used_here.add(partition)
+                continue
+            candidates = [p for p in range(n_partitions)
+                          if p not in used_here]
+            if not candidates:
+                candidates = list(range(n_partitions))
+                conflict = True
+            partition = min(candidates, key=lambda p: (loads[p], p))
+            assignment[node_id] = partition
+            loads[partition] += 1
+            used_here.add(partition)
+        if conflict:
+            conflicted.append(name)
+
+    # Nodes reachable only through sharing keys already covered; any
+    # remaining (e.g. from productions with no two-input nodes) are
+    # none by construction.
+    return Partitioning(assignment=assignment,
+                        n_partitions=n_partitions,
+                        conflicted_productions=conflicted)

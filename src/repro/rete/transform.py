@@ -1,0 +1,146 @@
+"""Network and source-level transformations from paper Section 5.2.
+
+Three remedies for speedup limiters:
+
+* **Unsharing** (Section 5.2.1, Figure 5-3): replicate two-input nodes so
+  that outputs previously sharing one node are generated independently.
+  Because productions must be loaded before working memory, unsharing is
+  realised as a rebuild with sharing disabled
+  (:func:`build_unshared_network`); the node census before/after measures
+  the duplicated work, which the paper bounds at a factor of 1.1–1.6.
+
+* **Copy and constraint** (Section 5.2.2, after Stolfo): split a culprit
+  production into several copies, each matching only part of the data the
+  original matched.  The copies have distinct two-input nodes, hence
+  distinct node-ids in the hash function, hence distinct buckets — the
+  "additional discrimination" the paper introduces for the Tourney
+  cross-product.  :func:`copy_and_constraint_values` partitions a
+  symbolic attribute by value; :func:`copy_and_constraint_ranges`
+  partitions a numeric attribute by half-open ranges.
+
+* **Dummy nodes** are a trace-level device in the paper's simulator (they
+  only re-shape where successors are generated, not what matches); see
+  :func:`repro.trace.transform.insert_dummy_nodes`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..ops5.ast import (AttrTest, ConditionElement, Constant, Predicate,
+                        Production)
+from ..ops5.values import Value
+from .network import ReteNetwork
+
+
+def build_network(productions: Iterable[Production],
+                  share: bool = True) -> ReteNetwork:
+    """Build a network over *productions*, optionally with sharing off."""
+    network = ReteNetwork(share=share)
+    for production in productions:
+        network.add_production(production)
+    return network
+
+
+def build_unshared_network(
+        productions: Iterable[Production]) -> ReteNetwork:
+    """The Figure 5-3 transformation applied globally: no shared joins."""
+    return build_network(productions, share=False)
+
+
+def _with_extra_tests(ce: ConditionElement,
+                      extra: Sequence[AttrTest]) -> ConditionElement:
+    return ConditionElement(cls=ce.cls, tests=ce.tests + tuple(extra),
+                            negated=ce.negated)
+
+
+def _copy_with_ce(production: Production, ce_index: int,
+                  new_ce: ConditionElement, suffix: str) -> Production:
+    lhs = list(production.lhs)
+    lhs[ce_index - 1] = new_ce
+    return Production(name=f"{production.name}{suffix}",
+                      lhs=tuple(lhs), rhs=production.rhs)
+
+
+def copy_and_constraint_values(
+        production: Production, ce_index: int, attr: str,
+        values: Sequence[Value]) -> List[Production]:
+    """Split *production* into one copy per value of ``^attr``.
+
+    Each copy ``name*cc<i>`` adds the constant test ``^attr = values[i]``
+    to the 1-based CE *ce_index*.  The union of the copies matches
+    exactly what the original matched **provided** *values* covers every
+    value the attribute takes in the data; values outside the list are
+    matched by no copy (the caller is asserting the domain).
+
+    Raises
+    ------
+    ValueError
+        If *values* is empty or contains duplicates.
+    """
+    if not values:
+        raise ValueError("need at least one partition value")
+    if len(set(values)) != len(values):
+        raise ValueError("partition values must be distinct")
+    _check_ce_index(production, ce_index)
+    out: List[Production] = []
+    ce = production.lhs[ce_index - 1]
+    for i, value in enumerate(values):
+        test = AttrTest(attr=attr, predicate=Predicate.EQ,
+                        operand=Constant(value))
+        out.append(_copy_with_ce(production, ce_index,
+                                 _with_extra_tests(ce, [test]),
+                                 suffix=f"*cc{i + 1}"))
+    return out
+
+
+def copy_and_constraint_ranges(
+        production: Production, ce_index: int, attr: str,
+        boundaries: Sequence[float]) -> List[Production]:
+    """Split a numeric attribute into half-open ranges.
+
+    ``boundaries = [b0, b1, ..., bk]`` produces k copies; copy i matches
+    ``b(i-1) <= ^attr < b(i)`` (the last copy uses ``<=`` on the upper
+    bound so the closed interval [b0, bk] is fully covered).  Only wmes
+    whose attribute is numeric and inside [b0, bk] are matched by some
+    copy — as with the value form, the caller asserts the domain.
+    """
+    if len(boundaries) < 2:
+        raise ValueError("need at least two boundaries (one range)")
+    if any(b >= c for b, c in zip(boundaries, boundaries[1:])):
+        raise ValueError("boundaries must be strictly increasing")
+    _check_ce_index(production, ce_index)
+    out: List[Production] = []
+    ce = production.lhs[ce_index - 1]
+    last = len(boundaries) - 2
+    for i, (lo, hi) in enumerate(zip(boundaries, boundaries[1:])):
+        upper_pred = Predicate.LE if i == last else Predicate.LT
+        tests = [
+            AttrTest(attr=attr, predicate=Predicate.GE, operand=Constant(lo)),
+            AttrTest(attr=attr, predicate=upper_pred, operand=Constant(hi)),
+        ]
+        out.append(_copy_with_ce(production, ce_index,
+                                 _with_extra_tests(ce, tests),
+                                 suffix=f"*cc{i + 1}"))
+    return out
+
+
+def _check_ce_index(production: Production, ce_index: int) -> None:
+    if not 1 <= ce_index <= len(production.lhs):
+        raise ValueError(
+            f"ce_index {ce_index} out of range for "
+            f"{production.name} with {len(production.lhs)} CEs")
+
+
+def sharing_factor(productions: Iterable[Production]) -> float:
+    """Ratio of unshared to shared two-input node counts.
+
+    The paper cites a 1.1–1.6 running-time effect for sharing in general;
+    this census gives the structural analogue for a rule set.
+    """
+    productions = list(productions)
+    shared = build_network(productions, share=True).node_count()
+    unshared = build_network(productions, share=False).node_count()
+    if shared == 0:
+        return 1.0
+    return unshared / shared

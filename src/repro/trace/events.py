@@ -1,0 +1,194 @@
+"""Trace event model: the simulator's input (paper Section 4, Figure 4-1).
+
+A *section trace* records, for a run of consecutive MRA cycles, every
+hash-table activation the Rete network performed: which node, which side
+(left/right memory), add or delete, which bucket, and which successor
+activations it generated.  The paper's simulator consumes exactly this —
+"a detailed trace of the activity of the hash-table used for the Rete
+network" — and so does ours, which is what makes recorded and synthetic
+traces interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..rete.hashing import BucketKey
+
+#: Sides of a two-input node activation.
+LEFT = "left"
+RIGHT = "right"
+
+#: Node kinds appearing in traces.
+KIND_JOIN = "join"
+KIND_NEGATIVE = "negative"
+KIND_TERMINAL = "terminal"
+
+#: Per-side add/delete charge is decided by the cost model; terminal
+#: activations represent instantiations sent to the control processor.
+VALID_SIDES = (LEFT, RIGHT)
+VALID_TAGS = ("+", "-")
+VALID_KINDS = (KIND_JOIN, KIND_NEGATIVE, KIND_TERMINAL)
+
+
+@dataclass
+class TraceActivation:
+    """One node activation in the trace.
+
+    Attributes
+    ----------
+    act_id:
+        Unique within the cycle; successors always have larger ids than
+        the activation that generated them.
+    parent_id:
+        The generating activation, or None for a *root* — a token
+        produced directly by the constant tests from the cycle's wme
+        changes (Section 3.2 step 2).
+    node_id / kind:
+        The destination two-input node (or terminal).
+    side:
+        Which memory the token is stored into; right activations stay
+        where the wme broadcast put them, left activations travel.
+    tag:
+        "+" add or "-" delete.
+    key:
+        The hash-bucket key: (node id, equality-test values).
+    successors:
+        act_ids of the activations this one generated (16 µs each under
+        the paper's cost model).
+    """
+
+    act_id: int
+    parent_id: Optional[int]
+    node_id: int
+    kind: str
+    side: str
+    tag: str
+    key: BucketKey
+    successors: Tuple[int, ...] = ()
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent_id is None
+
+    @property
+    def n_successors(self) -> int:
+        return len(self.successors)
+
+
+@dataclass
+class CycleTrace:
+    """All activations of one MRA cycle, indexed by act_id."""
+
+    index: int
+    activations: Dict[int, TraceActivation] = field(default_factory=dict)
+
+    def add(self, activation: TraceActivation) -> None:
+        if activation.act_id in self.activations:
+            raise ValueError(
+                f"duplicate act_id {activation.act_id} in cycle "
+                f"{self.index}")
+        self.activations[activation.act_id] = activation
+
+    def roots(self) -> List[TraceActivation]:
+        """Root activations in act_id order."""
+        return sorted((a for a in self.activations.values() if a.is_root),
+                      key=lambda a: a.act_id)
+
+    def __len__(self) -> int:
+        return len(self.activations)
+
+    def __iter__(self) -> Iterator[TraceActivation]:
+        return iter(sorted(self.activations.values(),
+                           key=lambda a: a.act_id))
+
+    def two_input_activations(self) -> List[TraceActivation]:
+        """Join/negative activations (what Table 5-2 counts)."""
+        return [a for a in self if a.kind != KIND_TERMINAL]
+
+    def max_node_id(self) -> int:
+        return max((a.node_id for a in self.activations.values()),
+                   default=0)
+
+    def max_act_id(self) -> int:
+        return max(self.activations, default=0)
+
+
+@dataclass
+class ActivationStats:
+    """Aggregate counts in the shape of the paper's Table 5-2."""
+
+    left: int = 0
+    right: int = 0
+    terminal: int = 0
+    successors: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.left + self.right
+
+    @property
+    def left_fraction(self) -> float:
+        return self.left / self.total if self.total else 0.0
+
+    def row(self, name: str) -> str:
+        """A Table 5-2 row: left (x%), right (y%), total."""
+        lf = round(100 * self.left_fraction)
+        return (f"{name:<10} {self.left:>7} ({lf}%)   "
+                f"{self.right:>7} ({100 - lf}%)   {self.total:>7}")
+
+
+@dataclass
+class SectionTrace:
+    """A named sequence of consecutive cycle traces — one 'section' of a
+    production-system execution, in the paper's sense (Section 5)."""
+
+    name: str
+    cycles: List[CycleTrace] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+    def __iter__(self) -> Iterator[CycleTrace]:
+        return iter(self.cycles)
+
+    def total_activations(self) -> int:
+        return sum(len(c) for c in self.cycles)
+
+    def stats(self) -> ActivationStats:
+        """Left/right/terminal activation counts across the section."""
+        stats = ActivationStats()
+        for cycle in self.cycles:
+            for act in cycle:
+                if act.kind == KIND_TERMINAL:
+                    stats.terminal += 1
+                elif act.side == LEFT:
+                    stats.left += 1
+                else:
+                    stats.right += 1
+                if act.kind != KIND_TERMINAL:
+                    stats.successors += act.n_successors
+        return stats
+
+    def slice(self, start: int, stop: int) -> "SectionTrace":
+        """Sub-section of cycles [start:stop] (by position)."""
+        return SectionTrace(name=f"{self.name}[{start}:{stop}]",
+                            cycles=self.cycles[start:stop])
+
+    def bucket_keys(self) -> List[BucketKey]:
+        """All distinct bucket keys appearing in the section."""
+        seen = {}
+        for cycle in self.cycles:
+            for act in cycle:
+                seen.setdefault(act.key, None)
+        return list(seen)
+
+    def node_ids(self) -> List[int]:
+        """All distinct two-input node ids appearing in the section."""
+        seen = {}
+        for cycle in self.cycles:
+            for act in cycle:
+                if act.kind != KIND_TERMINAL:
+                    seen.setdefault(act.node_id, None)
+        return list(seen)

@@ -1,0 +1,166 @@
+"""Text serialization of section traces, modelled on the paper's
+Figure 4-1 simulator input.
+
+The format is line-oriented and lossless::
+
+    #repro-trace 1
+    section rubik-good-speedups
+    cycle 1
+    a 1 - 17 join right + k n:3 s:red : 4 5
+    a 4 1 23 join left + k s:red :
+    ...
+
+Fields of an ``a`` line: act-id, parent-id (``-`` for roots), node-id,
+kind, side, tag, then ``k`` followed by the bucket-key values
+(type-tagged, percent-escaped), then ``:`` followed by the successor
+act-ids.  Values are tagged ``n:`` (number) or ``s:`` (symbol) so that
+``1`` and ``"1"`` survive the round trip.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO
+from urllib.parse import quote, unquote
+
+from ..ops5.values import Value
+from ..rete.hashing import BucketKey
+from .events import (VALID_KINDS, VALID_SIDES, VALID_TAGS, CycleTrace,
+                     SectionTrace, TraceActivation)
+
+_MAGIC = "#repro-trace 1"
+
+
+class TraceFormatError(Exception):
+    """Raised when a trace file is malformed."""
+
+
+def _encode_value(value: Value) -> str:
+    if isinstance(value, bool):
+        raise TraceFormatError("boolean values are not OPS5 atoms")
+    if isinstance(value, int):
+        return f"n:{value}"
+    if isinstance(value, float):
+        return f"n:{value!r}"
+    # Percent-encode everything outside [A-Za-z0-9_.~-]: whitespace of any
+    # flavour would break field splitting, and this keeps the format ASCII.
+    return f"s:{quote(value, safe='')}"
+
+
+def _decode_value(text: str) -> Value:
+    if len(text) < 2 or text[1] != ":":
+        raise TraceFormatError(f"bad value field {text!r}")
+    tag, body = text[0], text[2:]
+    if tag == "n":
+        try:
+            return int(body)
+        except ValueError:
+            try:
+                return float(body)
+            except ValueError:
+                raise TraceFormatError(f"bad number {body!r}") from None
+    if tag == "s":
+        return unquote(body)
+    raise TraceFormatError(f"unknown value tag {tag!r}")
+
+
+def dump_trace(trace: SectionTrace, stream: TextIO) -> None:
+    """Write *trace* to *stream* in the text format."""
+    stream.write(_MAGIC + "\n")
+    stream.write(f"section {trace.name}\n")
+    for cycle in trace:
+        stream.write(f"cycle {cycle.index}\n")
+        for act in cycle:
+            parent = "-" if act.parent_id is None else str(act.parent_id)
+            values = " ".join(_encode_value(v) for v in act.key.values)
+            successors = " ".join(str(s) for s in act.successors)
+            stream.write(
+                f"a {act.act_id} {parent} {act.node_id} {act.kind} "
+                f"{act.side} {act.tag} k {values} : {successors}".rstrip()
+                + "\n")
+
+
+def dumps_trace(trace: SectionTrace) -> str:
+    """Serialize *trace* to a string."""
+    buffer = io.StringIO()
+    dump_trace(trace, buffer)
+    return buffer.getvalue()
+
+
+def load_trace(stream: TextIO) -> SectionTrace:
+    """Parse a trace from *stream*; inverse of :func:`dump_trace`."""
+    lines = [ln.rstrip("\n") for ln in stream]
+    if not lines or lines[0].strip() != _MAGIC:
+        raise TraceFormatError(
+            f"missing magic header {_MAGIC!r}")
+    index = 1
+    if index >= len(lines) or not lines[index].startswith("section "):
+        raise TraceFormatError("missing 'section <name>' line")
+    name = lines[index][len("section "):]
+    trace = SectionTrace(name=name)
+    current: CycleTrace | None = None
+    for line_no, line in enumerate(lines[index + 1:], start=index + 2):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped.startswith("cycle "):
+            try:
+                cycle_index = int(stripped.split()[1])
+            except (IndexError, ValueError):
+                raise TraceFormatError(
+                    f"line {line_no}: bad cycle header {stripped!r}")
+            current = CycleTrace(index=cycle_index)
+            trace.cycles.append(current)
+            continue
+        if stripped.startswith("a "):
+            if current is None:
+                raise TraceFormatError(
+                    f"line {line_no}: activation before any cycle header")
+            current.add(_parse_activation(stripped, line_no))
+            continue
+        raise TraceFormatError(f"line {line_no}: unrecognised {stripped!r}")
+    return trace
+
+
+def loads_trace(text: str) -> SectionTrace:
+    """Parse a trace from a string."""
+    return load_trace(io.StringIO(text))
+
+
+def _parse_activation(line: str, line_no: int) -> TraceActivation:
+    fields = line.split()
+    # a <id> <parent> <node> <kind> <side> <tag> k <vals...> : <succs...>
+    try:
+        if fields[7] != "k":
+            raise ValueError("expected 'k' marker")
+        colon = fields.index(":", 7)
+        act_id = int(fields[1])
+        parent_id = None if fields[2] == "-" else int(fields[2])
+        node_id = int(fields[3])
+        kind, side, tag = fields[4], fields[5], fields[6]
+        values = tuple(_decode_value(f) for f in fields[8:colon])
+        successors = tuple(int(f) for f in fields[colon + 1:])
+    except (IndexError, ValueError) as exc:
+        raise TraceFormatError(f"line {line_no}: {exc}") from None
+    if kind not in VALID_KINDS:
+        raise TraceFormatError(f"line {line_no}: bad kind {kind!r}")
+    if side not in VALID_SIDES:
+        raise TraceFormatError(f"line {line_no}: bad side {side!r}")
+    if tag not in VALID_TAGS:
+        raise TraceFormatError(f"line {line_no}: bad tag {tag!r}")
+    return TraceActivation(
+        act_id=act_id, parent_id=parent_id, node_id=node_id, kind=kind,
+        side=side, tag=tag, key=BucketKey(node_id, values),
+        successors=successors)
+
+
+def save_trace(trace: SectionTrace, path) -> None:
+    """Write *trace* to the file at *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        dump_trace(trace, fh)
+
+
+def read_trace(path) -> SectionTrace:
+    """Read a trace from the file at *path*."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return load_trace(fh)

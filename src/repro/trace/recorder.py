@@ -1,0 +1,118 @@
+"""Recording hash-table activity traces from live Rete runs.
+
+:class:`TraceRecorder` attaches to a :class:`~repro.rete.ReteNetwork` and
+an :class:`~repro.ops5.Interpreter` and groups the network's activation
+events by MRA cycle, producing the :class:`~repro.trace.events
+.SectionTrace` the MPC simulator consumes.  This is the path that turns a
+real OPS5 program into simulator input, end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ops5.interpreter import Interpreter
+from ..rete.network import ReteNetwork
+from ..rete.stats import ActivationEvent
+from .events import CycleTrace, SectionTrace, TraceActivation
+
+
+class TraceRecorder:
+    """Collects per-cycle activation forests from a network.
+
+    Usage::
+
+        network = ReteNetwork()
+        interp = Interpreter(matcher=network)
+        recorder = TraceRecorder(network)
+        interp.load_program(program)        # recorded as cycle 0
+        interp.run()                        # firings become cycles 1..n
+        trace = recorder.section("my-run")
+
+    Cycle 0 holds the activations caused by initial working-memory setup;
+    experiment code usually drops it with ``trace.slice(1, None)`` since
+    the paper's sections are mid-run cycles.
+    """
+
+    def __init__(self, network: ReteNetwork) -> None:
+        self.network = network
+        self._cycles: Dict[int, CycleTrace] = {}
+        self._current_cycle = 0
+        network.observers.append(self._on_event)
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, interpreter: Interpreter) -> None:
+        """Follow the interpreter's cycle numbering.
+
+        The cycle hook fires at the start of each MRA cycle, before any
+        working-memory change of that firing reaches the matcher, so
+        every activation lands in the right cycle bucket.
+        """
+        interpreter.cycle_listeners.append(self.set_cycle)
+
+    def set_cycle(self, cycle: int) -> None:
+        """Manual cycle control for driving the network without an
+        interpreter (tests, custom drivers)."""
+        self._current_cycle = cycle
+
+    # -- event collection -----------------------------------------------------
+
+    def _on_event(self, event: ActivationEvent) -> None:
+        cycle = self._cycles.setdefault(self._current_cycle,
+                                        CycleTrace(self._current_cycle))
+        cycle.add(TraceActivation(
+            act_id=event.act_id,
+            parent_id=event.parent_id,
+            node_id=event.node_id,
+            kind=event.node_kind,
+            side=event.side,
+            tag=event.tag,
+            key=event.key,
+            successors=(),   # filled below from children's parent links
+        ))
+
+    # -- extraction --------------------------------------------------------------
+
+    def section(self, name: str,
+                drop_setup_cycle: bool = False) -> SectionTrace:
+        """Build the finished section trace.
+
+        Successor lists are reconstructed from parent links here (events
+        arrive in post-order, so children are only known at the end).
+        """
+        cycles: List[CycleTrace] = []
+        for index in sorted(self._cycles):
+            if drop_setup_cycle and index == 0:
+                continue
+            source = self._cycles[index]
+            rebuilt = CycleTrace(index=index)
+            children: Dict[int, List[int]] = {}
+            for act in source:
+                if act.parent_id is not None:
+                    children.setdefault(act.parent_id, []).append(
+                        act.act_id)
+            for act in source:
+                rebuilt.add(TraceActivation(
+                    act_id=act.act_id, parent_id=act.parent_id,
+                    node_id=act.node_id, kind=act.kind, side=act.side,
+                    tag=act.tag, key=act.key,
+                    successors=tuple(sorted(children.get(act.act_id, ()))),
+                ))
+            cycles.append(rebuilt)
+        return SectionTrace(name=name, cycles=cycles)
+
+
+def record_program(program, name: str, max_cycles: int = 10_000,
+                   drop_setup_cycle: bool = True) -> SectionTrace:
+    """One-call convenience: run *program* under Rete and record a trace.
+
+    The interpreter's startup wmes land in cycle 0, dropped by default.
+    """
+    network = ReteNetwork()
+    recorder = TraceRecorder(network)
+    interpreter = Interpreter(matcher=network)
+    recorder.attach(interpreter)
+    interpreter.load_program(program)
+    interpreter.run(max_cycles=max_cycles)
+    return recorder.section(name, drop_setup_cycle=drop_setup_cycle)

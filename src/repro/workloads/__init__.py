@@ -1,0 +1,19 @@
+"""Workloads: the paper's three characteristic sections (synthetic,
+matched to every published statistic) plus real OPS5 demo programs that
+exercise the full OPS5 → Rete → trace → simulator pipeline.
+"""
+
+from .generator import SectionSpec, generate_section
+from .rubik import rubik_section
+from .tourney import tourney_section
+from .weaver import weaver_section
+
+__all__ = ["SectionSpec", "generate_section",
+           "rubik_section", "tourney_section", "weaver_section",
+           "all_sections"]
+
+
+def all_sections(seed: int = 0):
+    """The three Section 5 traces, in the paper's presentation order."""
+    return [rubik_section(seed), tourney_section(seed),
+            weaver_section(seed)]

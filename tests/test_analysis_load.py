@@ -1,0 +1,103 @@
+"""Tests for load metrics and report formatting."""
+
+import pytest
+
+from repro.analysis import (aggregate, alternation_score, bar_chart,
+                            coefficient_of_variation, curve_plot,
+                            format_table, max_over_mean, mean, variance)
+
+
+class TestBasicStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_mean_empty(self):
+        assert mean([]) == 0.0
+
+    def test_variance_constant(self):
+        assert variance([5, 5, 5]) == 0.0
+
+    def test_variance_known(self):
+        assert variance([0, 4]) == 4.0
+
+    def test_cv_even(self):
+        assert coefficient_of_variation([3, 3, 3]) == 0.0
+
+    def test_cv_zero_mean(self):
+        assert coefficient_of_variation([0, 0]) == 0.0
+
+    def test_max_over_mean_even(self):
+        assert max_over_mean([4, 4]) == 1.0
+
+    def test_max_over_mean_skewed(self):
+        assert max_over_mean([0, 8]) == 2.0
+
+    def test_max_over_mean_empty_loads(self):
+        assert max_over_mean([0, 0]) == 1.0
+
+
+class TestAlternation:
+    def test_perfect_alternation_positive(self):
+        # Busy in one cycle, idle in the next (Fig 5-5).
+        assert alternation_score([10, 0, 10, 0], [0, 10, 0, 10]) > 0.9
+
+    def test_correlated_is_negative(self):
+        assert alternation_score([10, 0], [10, 0]) < -0.9
+
+    def test_constant_cycle_scores_zero(self):
+        assert alternation_score([5, 5], [1, 9]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            alternation_score([1], [1, 2])
+
+
+class TestAggregate:
+    def test_sums_per_processor(self):
+        assert aggregate([[1, 2], [3, 4]]) == [4, 6]
+
+    def test_empty(self):
+        assert aggregate([]) == []
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            aggregate([[1, 2], [3]])
+
+    def test_alternating_cycles_aggregate_even(self):
+        """The Fig 5-5 observation: per-cycle uneven, aggregate even."""
+        c1, c2 = [20, 0, 18, 2], [1, 19, 3, 17]
+        total = aggregate([c1, c2])
+        assert coefficient_of_variation(total) < \
+            coefficient_of_variation(c1)
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        out = format_table(["p", "speedup"], [[1, 1.0], [32, 12.13]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "12.13" in lines[-1]
+
+    def test_format_table_title(self):
+        out = format_table(["a"], [[1]], title="Table X")
+        assert out.startswith("Table X")
+
+    def test_bar_chart_scales(self):
+        out = bar_chart([1, 2, 4], labels=["a", "b", "c"], width=8)
+        lines = out.splitlines()
+        assert lines[2].count("#") == 8       # max value gets full width
+        assert lines[0].count("#") == 2
+
+    def test_bar_chart_label_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart([1], labels=["a", "b"])
+
+    def test_bar_chart_all_zero(self):
+        out = bar_chart([0, 0])
+        assert "#" not in out
+
+    def test_curve_plot_contains_markers_and_legend(self):
+        out = curve_plot([1, 2, 4], [[1, 2, 4], [1, 1.5, 2]],
+                         labels=["fast", "slow"])
+        assert "o" in out and "x" in out
+        assert "o=fast" in out and "x=slow" in out

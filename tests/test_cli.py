@@ -1,0 +1,119 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*args):
+    return subprocess.run([sys.executable, "-m", "repro", *args],
+                          capture_output=True, text=True, timeout=300)
+
+
+class TestInProcess:
+    def test_sections(self, capsys):
+        assert main(["sections"]) == 0
+        out = capsys.readouterr().out
+        assert "10750" in out and "8502" in out and "416" in out
+
+    def test_simulate_defaults(self, capsys):
+        assert main(["simulate", "--section", "weaver",
+                     "--procs", "1", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "weaver" in out
+
+    def test_simulate_rejects_bad_overhead(self, capsys):
+        assert main(["simulate", "--overhead", "7"]) == 2
+        assert "must be one of" in capsys.readouterr().err
+
+    def test_diagnose_section(self, capsys):
+        assert main(["diagnose", "--section", "weaver"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck-generator" in out
+        assert "unshare" in out
+
+    def test_diagnose_trace_file(self, tmp_path, capsys):
+        out_file = tmp_path / "t.trace"
+        assert main(["trace", "--section", "tourney",
+                     "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        assert main(["diagnose", "--trace-file", str(out_file)]) == 0
+        assert "cross-product" in capsys.readouterr().out
+
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        out_file = tmp_path / "w.trace"
+        assert main(["trace", "--section", "weaver",
+                     "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        assert main(["simulate", "--trace-file", str(out_file),
+                     "--procs", "8"]) == 0
+        assert "weaver" in capsys.readouterr().out
+
+    def test_autotune_command(self, tmp_path, capsys):
+        out_file = tmp_path / "tuned.trace"
+        assert main(["autotune", "--section", "weaver",
+                     "--procs", "16", "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "improvement" in out
+        assert out_file.exists()
+
+    def test_generate_then_simulate_and_diagnose(self, tmp_path,
+                                                 capsys):
+        out_file = tmp_path / "custom.trace"
+        assert main(["generate", "--left", "300", "--right", "100",
+                     "--buckets", "2", "--skew", "2.0",
+                     "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "300 left / 100 right" in out
+        assert main(["simulate", "--trace-file", str(out_file),
+                     "--procs", "8"]) == 0
+        capsys.readouterr()
+        # Two hot buckets per cycle -> the diagnostics should object.
+        assert main(["diagnose", "--trace-file", str(out_file)]) == 0
+        assert "cross-product" in capsys.readouterr().out
+
+    def test_run_ops5_source(self, tmp_path, capsys):
+        source = tmp_path / "prog.ops"
+        source.write_text("""
+            (startup (make a))
+            (p go (a) --> (write done (crlf)) (remove 1))
+        """)
+        assert main(["run", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+        assert "1 firings" in out
+
+    def test_run_verbose_lists_firings(self, tmp_path, capsys):
+        source = tmp_path / "prog.ops"
+        source.write_text("""
+            (startup (make a))
+            (p go (a) --> (remove 1))
+        """)
+        assert main(["run", str(source), "--verbose"]) == 0
+        assert "cycle 1: go" in capsys.readouterr().out
+
+
+class TestSubprocess:
+    def test_module_entry_point(self):
+        result = run_cli("sections")
+        assert result.returncode == 0
+        assert "Table 5-2" in result.stdout
+
+    def test_figures_single(self):
+        result = run_cli("figures", "table5_1")
+        assert result.returncode == 0
+        assert "Table 5-1" in result.stdout
+
+    def test_figures_unknown(self):
+        result = run_cli("figures", "fig0_0")
+        assert result.returncode == 2
+        assert "unknown figure" in result.stderr
+
+    def test_no_command_is_error(self):
+        result = run_cli()
+        assert result.returncode != 0

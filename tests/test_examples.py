@@ -1,0 +1,78 @@
+"""Smoke tests: every example script must run clean from a fresh
+interpreter (they are the documented entry points)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=300)
+
+
+def test_quickstart():
+    result = run_example("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "every box is painted" in result.stdout
+    assert "speedup" in result.stdout
+
+
+def test_blocks_world():
+    result = run_example("blocks_world.py", "6")
+    assert result.returncode == 0, result.stderr
+    assert "6-block tower flattened" in result.stdout
+    assert "matchers agree" in result.stdout
+
+
+def test_transformations():
+    result = run_example("transformations.py")
+    assert result.returncode == 0, result.stderr
+    assert "unsharing" in result.stdout
+    assert "copy-and-constraint" in result.stdout
+
+
+def test_load_balancing():
+    result = run_example("load_balancing.py")
+    assert result.returncode == 0, result.stderr
+    assert "greedy" in result.stdout
+    assert "P(perfectly even)" in result.stdout
+
+
+def test_diagnose_and_fix():
+    result = run_example("diagnose_and_fix.py", "weaver", "16")
+    assert result.returncode == 0, result.stderr
+    assert "unshare node" in result.stdout
+    assert "improvement" in result.stdout
+
+
+def test_architectures():
+    result = run_example("architectures.py", "weaver")
+    assert result.returncode == 0, result.stderr
+    assert "shared bus" in result.stdout
+    assert "master copy" in result.stdout
+
+
+def test_architectures_rejects_unknown_section():
+    result = run_example("architectures.py", "nosuch")
+    assert result.returncode != 0
+    assert "unknown section" in result.stderr
+
+
+@pytest.mark.parametrize("figure", ["table5_1", "table5_2", "fig5_5"])
+def test_paper_figures_single(figure):
+    result = run_example("paper_figures.py", figure)
+    assert result.returncode == 0, result.stderr
+    assert figure.replace("fig", "Figure ").replace("table", "Table ") \
+        .replace("5_", "5-") in result.stdout
+
+
+def test_paper_figures_rejects_unknown():
+    result = run_example("paper_figures.py", "fig9_9")
+    assert result.returncode != 0
+    assert "unknown figure" in result.stderr

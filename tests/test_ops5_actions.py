@@ -1,0 +1,126 @@
+"""Unit tests for RHS action execution (error paths and formatting)."""
+
+import pytest
+
+from repro.ops5 import (ExecutionError, Instantiation, Interpreter,
+                        parse_production, parse_program, run_program)
+from repro.ops5.actions import execute
+from repro.ops5.wme import WorkingMemory
+
+
+def fire(source, wmes):
+    """Load one production + wmes, fire once, return (interp, record)."""
+    interp = Interpreter()
+    interp.add_production(parse_production(source))
+    for cls, attrs in wmes:
+        interp.add_wme(cls, attrs)
+    record = interp.step()
+    return interp, record
+
+
+class TestMake:
+    def test_creates_wme_with_resolved_values(self):
+        interp, record = fire(
+            "(p r (src ^v <x>) --> (make dst ^a <x> ^b lit))",
+            [("src", {"v": 7})])
+        [dst] = [w for w in interp.wm if w.cls == "dst"]
+        assert dst.get("a") == 7
+        assert dst.get("b") == "lit"
+
+    def test_delta_contains_add(self):
+        _, record = fire("(p r (a) --> (make b))", [("a", {})])
+        assert ("+", "b") in [(t, w.cls) for t, w in record.deltas]
+
+
+class TestRemoveModify:
+    def test_remove_deletes(self):
+        interp, record = fire("(p r (a) --> (remove 1))", [("a", {})])
+        assert len(interp.wm) == 0
+
+    def test_modify_keeps_untouched_attrs(self):
+        interp, _ = fire("(p r (a ^x 1 ^y 2) --> (modify 1 ^x 9))",
+                         [("a", {"x": 1, "y": 2})])
+        [wme] = list(interp.wm)
+        assert wme.get("x") == 9 and wme.get("y") == 2
+
+    def test_modify_after_remove_same_wme_raises(self):
+        interp = Interpreter()
+        interp.add_production(parse_production(
+            "(p r (a ^v <x>) (a ^v <x>) --> (remove 1) (modify 2 ^v 9))"))
+        interp.add_wme("a", {"v": 1})
+        with pytest.raises(ExecutionError):
+            interp.step()
+
+    def test_modify_emits_delete_then_add(self):
+        _, record = fire("(p r (a ^x 1) --> (modify 1 ^x 2))",
+                         [("a", {"x": 1})])
+        tags = [t for t, _ in record.deltas]
+        assert tags == ["-", "+"]
+
+
+class TestWrite:
+    def test_values_space_separated(self):
+        result = run_program(parse_program("""
+            (startup (make m ^a hello ^b 42))
+            (p r (m ^a <a> ^b <b>) --> (write <a> <b>) (remove 1))
+        """))
+        assert result.output == "hello 42"
+
+    def test_crlf_no_surrounding_spaces(self):
+        result = run_program(parse_program("""
+            (startup (make m))
+            (p r (m) --> (write one (crlf) two) (remove 1))
+        """))
+        assert result.output == "one\ntwo"
+
+    def test_quoted_symbol_rendered_quoted(self):
+        result = run_program(parse_program("""
+            (startup (make m))
+            (p r (m) --> (write |two words|) (remove 1))
+        """))
+        assert result.output == "|two words|"
+
+
+class TestHaltMidRhs:
+    def test_actions_after_halt_not_executed(self):
+        interp, record = fire("(p r (a) --> (halt) (make b))",
+                              [("a", {})])
+        assert record is not None
+        assert not any(w.cls == "b" for w in interp.wm)
+
+    def test_interpreter_stays_halted(self):
+        interp, _ = fire("(p r (a) --> (halt))", [("a", {})])
+        assert interp.step() is None
+
+
+class TestBindScoping:
+    def test_bind_visible_to_later_actions_only(self):
+        result = run_program(parse_program("""
+            (startup (make m ^v 5))
+            (p r (m ^v <x>)
+              --> (bind <y> (compute <x> * 2))
+                  (make out ^v <y>)
+                  (remove 1))
+        """))
+        assert result.quiesced
+
+    def test_rebind_overwrites(self):
+        interp, _ = fire(
+            "(p r (a ^v <x>) --> (bind <x> 99) (make b ^v <x>))",
+            [("a", {"v": 1})])
+        [b] = [w for w in interp.wm if w.cls == "b"]
+        assert b.get("v") == 99
+
+
+class TestDirectExecute:
+    def test_unknown_rhs_variable_raises_at_execute(self):
+        # Construct an instantiation with missing bindings to hit the
+        # runtime guard (the parser normally prevents this).
+        production = parse_production(
+            "(p r (a ^v <x>) --> (make b ^v <x>))")
+        wm = WorkingMemory()
+        wme = wm.add("a", {"v": 1})
+        inst = Instantiation(production=production, wmes=(wme,),
+                             bindings={})  # <x> deliberately missing
+        with pytest.raises(ExecutionError):
+            execute(inst, wm)

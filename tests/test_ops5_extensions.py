@@ -1,0 +1,171 @@
+"""Tests for the OPS5 extensions: value disjunctions (``<< ... >>``)
+and RHS arithmetic (``(compute ...)``)."""
+
+import pytest
+
+from repro.ops5 import (ComputeExpr, Constant, Disjunction, ExecutionError,
+                        Interpreter, NaiveMatcher, ParseError,
+                        SemanticError, Variable, parse_production,
+                        parse_program, run_program)
+from repro.ops5.wme import WME
+from repro.ops5.matcher import match_ce
+from repro.rete import ReteNetwork
+
+
+class TestDisjunctionParsing:
+    def test_parses_values(self):
+        p = parse_production(
+            "(p r (item ^color << red blue 3 >>) --> (halt))")
+        operand = p.lhs[0].tests[0].operand
+        assert operand == Disjunction(("red", "blue", 3))
+
+    def test_empty_rejected(self):
+        with pytest.raises((ParseError, SemanticError)):
+            parse_production("(p r (item ^color << >>) --> (halt))")
+
+    def test_variable_inside_rejected(self):
+        with pytest.raises(ParseError):
+            parse_production("(p r (item ^color << red <x> >>) --> (halt))")
+
+    def test_predicate_before_disjunction_rejected(self):
+        with pytest.raises(ParseError):
+            parse_production("(p r (item ^size > << 1 2 >>) --> (halt))")
+
+    def test_str_roundtrip(self):
+        p = parse_production(
+            "(p r (item ^color << red blue >>) --> (halt))")
+        assert parse_production(str(p)) == p
+
+
+class TestDisjunctionMatching:
+    def ce(self):
+        return parse_production(
+            "(p r (item ^color << red blue >>) --> (halt))").lhs[0]
+
+    def test_matches_member(self):
+        assert match_ce(self.ce(), WME(1, "item", {"color": "red"}),
+                        {}) is not None
+        assert match_ce(self.ce(), WME(1, "item", {"color": "blue"}),
+                        {}) is not None
+
+    def test_rejects_non_member(self):
+        assert match_ce(self.ce(), WME(1, "item", {"color": "green"}),
+                        {}) is None
+
+    def test_numeric_member_matches_across_types(self):
+        ce = parse_production(
+            "(p r (item ^n << 1 2 >>) --> (halt))").lhs[0]
+        assert match_ce(ce, WME(1, "item", {"n": 1.0}), {}) is not None
+
+    def test_rete_and_naive_agree(self):
+        source = """
+            (startup (make item ^color red) (make item ^color green))
+            (p warm (item ^color << red orange >>) --> (remove 1))
+        """
+        naive = run_program(parse_program(source))
+        rete = run_program(parse_program(source), matcher=ReteNetwork())
+        assert naive.cycles == rete.cycles == 1
+
+    def test_disjunction_is_alpha_shared(self):
+        """Two productions with the same disjunction share the alpha
+        pattern (it is a constant test)."""
+        from repro.rete import build_network
+        rules = [parse_production(
+            f"(p r{i} (a ^c << x y >>) (b) --> (remove 1))")
+            for i in range(2)]
+        net = build_network(rules)
+        assert net.alpha_pattern_count() == 2  # one for a+disj, one for b
+
+
+class TestComputeParsing:
+    def test_simple_expression(self):
+        p = parse_production(
+            "(p r (c ^n <n>) --> (modify 1 ^n (compute <n> + 1)))")
+        value = p.rhs[0].assignments[0][1]
+        assert isinstance(value.operand, ComputeExpr)
+        assert value.operand.items == (Variable("n"), "+", Constant(1))
+
+    def test_multi_op(self):
+        p = parse_production(
+            "(p r (c ^n <n>) --> (bind <x> (compute <n> + 1 * 2)))")
+        assert len(p.rhs[0].value.operand.items) == 5
+
+    def test_trailing_operator_rejected(self):
+        with pytest.raises(ParseError):
+            parse_production(
+                "(p r (c ^n <n>) --> (bind <x> (compute <n> +)))")
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ParseError):
+            parse_production(
+                "(p r (c ^n <n>) --> (bind <x> (compute <n> ** 2)))")
+
+    def test_unbound_variable_rejected_at_parse(self):
+        with pytest.raises(SemanticError):
+            parse_production(
+                "(p r (c) --> (make d ^v (compute <nope> + 1)))")
+
+    def test_unsupported_rhs_form_rejected(self):
+        with pytest.raises(ParseError):
+            parse_production("(p r (c) --> (make d ^v (frob 1)))")
+
+
+class TestComputeEvaluation:
+    def run_counter(self, expr, start=7):
+        source = f"""
+            (startup (make c ^n {start}))
+            (p go (c ^n <n>) --> (modify 1 ^n {expr}) (halt))
+        """
+        interp = Interpreter()
+        interp.load_program(parse_program(source))
+        interp.run()
+        [wme] = list(interp.wm)
+        return wme.get("n")
+
+    def test_addition(self):
+        assert self.run_counter("(compute <n> + 1)") == 8
+
+    def test_subtraction(self):
+        assert self.run_counter("(compute <n> - 10)") == -3
+
+    def test_left_to_right_no_precedence(self):
+        # 7 + 1 * 2 = 16 under left-to-right evaluation.
+        assert self.run_counter("(compute <n> + 1 * 2)") == 16
+
+    def test_integer_division(self):
+        assert self.run_counter("(compute <n> // 2)") == 3
+
+    def test_modulus(self):
+        assert self.run_counter("(compute <n> \\\\ 4)") == 3
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExecutionError):
+            self.run_counter("(compute <n> // 0)")
+
+    def test_symbol_operand_raises(self):
+        source = """
+            (startup (make c ^n hello))
+            (p go (c ^n <n>) --> (modify 1 ^n (compute <n> + 1)))
+        """
+        interp = Interpreter()
+        interp.load_program(parse_program(source))
+        with pytest.raises(ExecutionError):
+            interp.run()
+
+    def test_compute_in_write(self):
+        result = run_program(parse_program("""
+            (startup (make c ^n 6))
+            (p go (c ^n <n>) --> (write answer (compute <n> * 7))
+                                 (remove 1))
+        """))
+        assert result.output == "answer 42"
+
+    def test_counting_loop_terminates(self):
+        """The idiom compute enables: a real counting loop."""
+        result = run_program(parse_program("""
+            (startup (make c ^n 0))
+            (p bump (c ^n { <n> < 5 }) --> (modify 1 ^n (compute <n> + 1)))
+            (p done (c ^n 5) --> (write reached 5) (halt))
+        """), max_cycles=100)
+        assert result.halted
+        assert result.cycles == 6

@@ -1,0 +1,182 @@
+"""Integration tests for the MRA interpreter (with the naive matcher)."""
+
+import pytest
+
+from repro.ops5 import (ExecutionError, Interpreter, Strategy,
+                        parse_production, parse_program, run_program)
+
+
+class TestBasicExecution:
+    def test_single_firing_and_quiescence(self):
+        program = parse_program("""
+            (startup (make a))
+            (p once (a) --> (remove 1))
+        """)
+        result = run_program(program)
+        assert result.cycles == 1
+        assert result.quiesced
+        assert not result.halted
+
+    def test_halt_stops_immediately(self):
+        program = parse_program("""
+            (startup (make a) (make a))
+            (p stop (a) --> (halt))
+        """)
+        result = run_program(program)
+        assert result.cycles == 1
+        assert result.halted
+        assert not result.quiesced
+
+    def test_refraction_prevents_refiring(self):
+        # The rule does not change WM, so without refraction it would
+        # loop forever on the same instantiation.
+        program = parse_program("""
+            (startup (make a))
+            (p noop (a) --> (write fired))
+        """)
+        result = run_program(program, max_cycles=50)
+        assert result.cycles == 1
+        assert result.quiesced
+
+    def test_max_cycles_cuts_off(self):
+        # counter increments forever via modify; each new wme is a new
+        # instantiation, so refraction does not stop it.
+        program = parse_program("""
+            (startup (make counter ^n 0))
+            (p bump (counter ^n <n>) --> (remove 1) (make counter ^n 1))
+        """)
+        # remove+make of identical attrs creates fresh wme ids each time.
+        result = run_program(program, max_cycles=7)
+        assert result.cycles == 7
+        assert not result.quiesced and not result.halted
+
+
+class TestChainsAndActions:
+    def test_make_chain(self):
+        program = parse_program("""
+            (startup (make stage ^n one))
+            (p s1 (stage ^n one) --> (remove 1) (make stage ^n two))
+            (p s2 (stage ^n two) --> (remove 1) (make stage ^n three))
+            (p s3 (stage ^n three) --> (remove 1) (make done))
+        """)
+        result = run_program(program)
+        assert [f.production_name for f in result.firings] == \
+            ["s1", "s2", "s3"]
+
+    def test_modify_updates_attribute(self):
+        program = parse_program("""
+            (startup (make counter ^n 0))
+            (p to-one (counter ^n 0) --> (modify 1 ^n 1))
+        """)
+        interp = Interpreter()
+        interp.load_program(program)
+        interp.run()
+        wmes = list(interp.wm)
+        assert len(wmes) == 1
+        assert wmes[0].get("n") == 1
+
+    def test_write_output_captured(self):
+        program = parse_program("""
+            (startup (make greeting ^text hello))
+            (p say (greeting ^text <t>) --> (write <t> world (crlf))
+                                            (remove 1))
+        """)
+        result = run_program(program)
+        assert result.output == "hello world\n"
+
+    def test_bind_then_make(self):
+        program = parse_program("""
+            (startup (make src ^v 42))
+            (p copy (src ^v <x>) --> (bind <y> <x>) (make dst ^v <y>)
+                                     (remove 1))
+        """)
+        interp = Interpreter()
+        interp.load_program(program)
+        interp.run()
+        [dst] = [w for w in interp.wm if w.cls == "dst"]
+        assert dst.get("v") == 42
+
+    def test_remove_same_wme_twice_in_one_firing_is_noop(self):
+        program = parse_program("""
+            (startup (make a ^v 1))
+            (p r (a ^v <x>) (a ^v <x>) --> (remove 1 2))
+        """)
+        interp = Interpreter()
+        interp.load_program(program)
+        result = interp.run()
+        # One wme matched both CEs; second remove is silently skipped.
+        assert result.cycles == 1
+        assert len(interp.wm) == 0
+
+
+class TestNegationDynamics:
+    def test_negation_enables_after_removal(self):
+        program = parse_program("""
+            (startup (make goal) (make blocker))
+            (p clear (blocker) --> (remove 1))
+            (p act (goal) -(blocker) --> (remove 1) (make acted))
+        """)
+        result = run_program(program)
+        names = [f.production_name for f in result.firings]
+        assert "act" in names
+        assert names.index("clear") < names.index("act")
+
+    def test_negation_respected_while_blocker_present(self):
+        program = parse_program("""
+            (startup (make goal) (make blocker))
+            (p act (goal) -(blocker) --> (make acted))
+        """)
+        result = run_program(program)
+        assert result.cycles == 0
+
+
+class TestStrategies:
+    def _program(self):
+        return parse_program("""
+            (p react-new (item ^tag new) --> (remove 1))
+            (p react-old (item ^tag old) --> (remove 1))
+        """)
+
+    def test_lex_fires_most_recent_first(self):
+        interp = Interpreter(strategy=Strategy.LEX)
+        interp.load_program(self._program())
+        interp.add_wme("item", {"tag": "old"})
+        interp.add_wme("item", {"tag": "new"})
+        record = interp.step()
+        assert record.production_name == "react-new"
+
+    def test_mea_uses_first_ce(self):
+        program = parse_program("""
+            (p go (goal ^is <g>) (item ^tag <g>) --> (remove 2))
+        """)
+        interp = Interpreter(strategy=Strategy.MEA)
+        interp.load_program(program)
+        interp.add_wme("item", {"tag": "x"})
+        interp.add_wme("goal", {"is": "x"})
+        interp.add_wme("item", {"tag": "x"})
+        record = interp.step()
+        assert record is not None
+
+
+class TestExternalWMManipulation:
+    def test_add_and_remove_wme_via_interpreter(self):
+        interp = Interpreter()
+        interp.add_production(parse_production("(p r (a) --> (halt))"))
+        w = interp.add_wme("a", {})
+        assert len(interp.conflict_set()) == 1
+        interp.remove_wme(w.wme_id)
+        assert len(interp.conflict_set()) == 0
+
+    def test_delta_listener_sees_changes(self):
+        seen = []
+        interp = Interpreter()
+        interp.delta_listeners.append(
+            lambda cycle, deltas: seen.extend(
+                (cycle, tag, w.cls) for tag, w in deltas))
+        interp.add_production(parse_production(
+            "(p r (a) --> (remove 1) (make b))"))
+        interp.add_wme("a", {})
+        interp.run()
+        assert (0, "+", "a") in seen          # external add, cycle 0
+        assert (1, "-", "a") in seen          # firing, cycle 1
+        assert (1, "+", "b") in seen

@@ -1,0 +1,172 @@
+"""Unit tests for CE matching and the naive matcher."""
+
+import pytest
+
+from repro.ops5 import (NaiveMatcher, find_instantiations, match_ce,
+                        parse_production)
+from repro.ops5.wme import WME
+
+
+def ce_of(source_ce, negated=False):
+    neg = "-" if negated else ""
+    p = parse_production(f"(p t (dummy) {neg}{source_ce} --> (halt))")
+    return p.lhs[1]
+
+
+def first_ce(source_ce):
+    p = parse_production(f"(p t {source_ce} --> (halt))")
+    return p.lhs[0]
+
+
+class TestMatchCE:
+    def test_class_mismatch(self):
+        ce = first_ce("(block)")
+        assert match_ce(ce, WME(1, "hand", {}), {}) is None
+
+    def test_constant_match(self):
+        ce = first_ce("(block ^color blue)")
+        assert match_ce(ce, WME(1, "block", {"color": "blue"}), {}) == {}
+
+    def test_constant_mismatch(self):
+        ce = first_ce("(block ^color blue)")
+        assert match_ce(ce, WME(1, "block", {"color": "red"}), {}) is None
+
+    def test_missing_attr_reads_nil(self):
+        ce = first_ce("(block ^color nil)")
+        assert match_ce(ce, WME(1, "block", {}), {}) == {}
+
+    def test_variable_binds(self):
+        ce = first_ce("(block ^name <x>)")
+        out = match_ce(ce, WME(1, "block", {"name": "b1"}), {})
+        assert out == {"x": "b1"}
+
+    def test_bound_variable_consistency_pass(self):
+        ce = first_ce("(block ^name <x>)")
+        out = match_ce(ce, WME(1, "block", {"name": "b1"}), {"x": "b1"})
+        assert out == {"x": "b1"}
+
+    def test_bound_variable_consistency_fail(self):
+        ce = first_ce("(block ^name <x>)")
+        assert match_ce(ce, WME(1, "block", {"name": "b1"}),
+                        {"x": "b2"}) is None
+
+    def test_intra_ce_repeated_variable(self):
+        ce = first_ce("(pair ^a <x> ^b <x>)")
+        assert match_ce(ce, WME(1, "pair", {"a": 1, "b": 1}), {}) is not None
+        assert match_ce(ce, WME(1, "pair", {"a": 1, "b": 2}), {}) is None
+
+    def test_relational_predicate(self):
+        ce = first_ce("(block ^size > 5)")
+        assert match_ce(ce, WME(1, "block", {"size": 6}), {}) is not None
+        assert match_ce(ce, WME(1, "block", {"size": 5}), {}) is None
+
+    def test_relational_against_symbol_fails_not_raises(self):
+        ce = first_ce("(block ^size > 5)")
+        assert match_ce(ce, WME(1, "block", {"size": "big"}), {}) is None
+
+    def test_relational_on_unbound_variable_fails(self):
+        # OPS5 requires <x> bound before "> <x>" can be evaluated.
+        ce = first_ce("(block ^size > <x>)")
+        assert match_ce(ce, WME(1, "block", {"size": 6}), {}) is None
+        assert match_ce(ce, WME(1, "block", {"size": 6}),
+                        {"x": 5}) is not None
+
+    def test_conjunctive_restriction(self):
+        ce = first_ce("(block ^size { > 2 < 10 })")
+        assert match_ce(ce, WME(1, "block", {"size": 5}), {}) is not None
+        assert match_ce(ce, WME(1, "block", {"size": 12}), {}) is None
+
+    def test_input_bindings_not_mutated(self):
+        ce = first_ce("(block ^name <x>)")
+        bindings = {}
+        match_ce(ce, WME(1, "block", {"name": "b1"}), bindings)
+        assert bindings == {}
+
+
+class TestFindInstantiations:
+    def _production(self):
+        return parse_production("""
+            (p stack
+              (block ^name <top> ^on <bot>)
+              (block ^name <bot> ^clear no)
+              --> (halt))
+        """)
+
+    def test_join_on_shared_variable(self):
+        p = self._production()
+        wmes = [
+            WME(1, "block", {"name": "a", "on": "b"}, timestamp=1),
+            WME(2, "block", {"name": "b", "clear": "no"}, timestamp=2),
+            WME(3, "block", {"name": "c", "clear": "no"}, timestamp=3),
+        ]
+        insts = find_instantiations(p, wmes)
+        assert len(insts) == 1
+        assert [w.wme_id for w in insts[0].wmes] == [1, 2]
+        assert insts[0].bindings == {"top": "a", "bot": "b"}
+
+    def test_cross_product_when_no_join_variable(self):
+        p = parse_production("(p cp (a) (b) --> (halt))")
+        wmes = [WME(i, "a", {}) for i in range(1, 4)] + \
+               [WME(i, "b", {}) for i in range(4, 7)]
+        insts = find_instantiations(p, wmes)
+        assert len(insts) == 9  # 3 x 3 cross product
+
+    def test_negated_ce_blocks(self):
+        p = parse_production("(p r (goal) -(block ^color blue) --> (halt))")
+        goal = WME(1, "goal", {})
+        blue = WME(2, "block", {"color": "blue"})
+        assert len(find_instantiations(p, [goal])) == 1
+        assert len(find_instantiations(p, [goal, blue])) == 0
+
+    def test_negated_ce_with_bound_variable(self):
+        p = parse_production("""
+            (p r (goal ^obj <o>) -(block ^name <o>) --> (halt))
+        """)
+        goal = WME(1, "goal", {"obj": "b1"})
+        other_block = WME(2, "block", {"name": "b2"})
+        matching_block = WME(3, "block", {"name": "b1"})
+        assert len(find_instantiations(p, [goal, other_block])) == 1
+        assert len(find_instantiations(p, [goal, matching_block])) == 0
+
+    def test_negated_ce_fresh_variable_is_wildcard(self):
+        # -(block ^name <any>) is satisfied only when NO block has a name.
+        p = parse_production("(p r (goal) -(block ^name <any>) --> (halt))")
+        goal = WME(1, "goal", {})
+        named = WME(2, "block", {"name": "x"})
+        assert len(find_instantiations(p, [goal])) == 1
+        assert len(find_instantiations(p, [goal, named])) == 0
+
+    def test_same_wme_may_match_two_ces(self):
+        # OPS5 allows one wme to satisfy multiple CEs.
+        p = parse_production("(p r (a ^v <x>) (a ^v <x>) --> (halt))")
+        w = WME(1, "a", {"v": 1})
+        insts = find_instantiations(p, [w])
+        assert len(insts) == 1
+        assert [x.wme_id for x in insts[0].wmes] == [1, 1]
+
+
+class TestNaiveMatcher:
+    def test_incremental_add_remove(self):
+        m = NaiveMatcher()
+        p = parse_production("(p r (a) (b) --> (halt))")
+        m.add_production(p)
+        assert m.conflict_set() == []
+        wa = WME(1, "a", {})
+        wb = WME(2, "b", {})
+        m.add_wme(wa)
+        m.add_wme(wb)
+        assert len(m.conflict_set()) == 1
+        m.remove_wme(wa)
+        assert m.conflict_set() == []
+
+    def test_multiple_productions(self):
+        m = NaiveMatcher()
+        m.add_production(parse_production("(p r1 (a) --> (halt))"))
+        m.add_production(parse_production("(p r2 (a) --> (halt))"))
+        m.add_wme(WME(1, "a", {}))
+        names = sorted(i.production.name for i in m.conflict_set())
+        assert names == ["r1", "r2"]
+
+    def test_remove_unknown_wme_is_noop(self):
+        m = NaiveMatcher()
+        m.remove_wme(WME(9, "a", {}))  # must not raise

@@ -1,0 +1,202 @@
+"""Unit tests for the OPS5 parser."""
+
+import pytest
+
+from repro.ops5 import (BindAction, ConditionElement, Constant, HaltAction,
+                        MakeAction, ModifyAction, ParseError, Predicate,
+                        RemoveAction, SemanticError, Variable, WriteAction,
+                        parse_production, parse_program)
+
+
+class TestLHSParsing:
+    def test_classes_and_order(self):
+        p = parse_production("""
+            (p r (a) (b) -(c) --> (halt))
+        """)
+        assert [ce.cls for ce in p.lhs] == ["a", "b", "c"]
+        assert [ce.negated for ce in p.lhs] == [False, False, True]
+
+    def test_constant_test(self):
+        p = parse_production("(p r (block ^color blue) --> (halt))")
+        t = p.lhs[0].tests[0]
+        assert t.attr == "color"
+        assert t.predicate is Predicate.EQ
+        assert t.operand == Constant("blue")
+
+    def test_variable_binding(self):
+        p = parse_production("(p r (block ^name <x>) --> (halt))")
+        t = p.lhs[0].tests[0]
+        assert t.operand == Variable("x")
+
+    def test_relational_predicate(self):
+        p = parse_production("(p r (block ^size > 5) --> (halt))")
+        t = p.lhs[0].tests[0]
+        assert t.predicate is Predicate.GT
+        assert t.operand == Constant(5)
+
+    def test_relational_against_variable(self):
+        p = parse_production(
+            "(p r (a ^v <x>) (b ^w > <x>) --> (halt))")
+        t = p.lhs[1].tests[0]
+        assert t.predicate is Predicate.GT
+        assert t.operand == Variable("x")
+
+    def test_conjunctive_braces(self):
+        p = parse_production(
+            "(p r (block ^size { > 2 <= <max> <> 7 }) --> (halt))")
+        tests = p.lhs[0].tests
+        assert len(tests) == 3
+        assert [t.predicate for t in tests] == [
+            Predicate.GT, Predicate.LE, Predicate.NE]
+        assert all(t.attr == "size" for t in tests)
+
+    def test_empty_braces_rejected(self):
+        with pytest.raises(ParseError):
+            parse_production("(p r (block ^size { }) --> (halt))")
+
+    def test_bare_class_ce(self):
+        p = parse_production("(p r (goal) --> (halt))")
+        assert p.lhs[0].tests == ()
+
+
+class TestRHSParsing:
+    def test_make(self):
+        p = parse_production(
+            "(p r (a ^v <x>) --> (make block ^name <x> ^color red))")
+        action = p.rhs[0]
+        assert isinstance(action, MakeAction)
+        assert action.cls == "block"
+        assert action.assignments[0][0] == "name"
+        assert action.assignments[1][1].operand == Constant("red")
+
+    def test_remove_multiple(self):
+        p = parse_production("(p r (a) (b) --> (remove 1 2))")
+        assert p.rhs[0] == RemoveAction(ce_indices=(1, 2))
+
+    def test_remove_non_integer_rejected(self):
+        with pytest.raises(ParseError):
+            parse_production("(p r (a) --> (remove x))")
+
+    def test_modify(self):
+        p = parse_production("(p r (a ^v 1) --> (modify 1 ^v 2))")
+        action = p.rhs[0]
+        assert isinstance(action, ModifyAction)
+        assert action.ce_index == 1
+
+    def test_write_with_crlf(self):
+        p = parse_production("(p r (a) --> (write done (crlf)))")
+        action = p.rhs[0]
+        assert isinstance(action, WriteAction)
+        assert action.values[-1].operand == Constant("\n")
+
+    def test_halt(self):
+        p = parse_production("(p r (a) --> (halt))")
+        assert isinstance(p.rhs[0], HaltAction)
+
+    def test_bind(self):
+        p = parse_production("(p r (a ^v <x>) --> (bind <y> <x>))")
+        action = p.rhs[0]
+        assert isinstance(action, BindAction)
+        assert action.variable == "y"
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ParseError):
+            parse_production("(p r (a) --> (explode))")
+
+    def test_empty_rhs_allowed(self):
+        p = parse_production("(p r (a) -->)")
+        assert p.rhs == ()
+
+
+class TestSemanticValidation:
+    def test_first_ce_may_not_be_negated(self):
+        with pytest.raises(SemanticError):
+            parse_production("(p r -(a) (b) --> (halt))")
+
+    def test_empty_lhs_rejected(self):
+        with pytest.raises((ParseError, SemanticError)):
+            parse_production("(p r --> (halt))")
+
+    def test_remove_of_negated_ce_rejected(self):
+        with pytest.raises(SemanticError):
+            parse_production("(p r (a) -(b) --> (remove 2))")
+
+    def test_modify_of_out_of_range_ce_rejected(self):
+        with pytest.raises(SemanticError):
+            parse_production("(p r (a) --> (modify 3 ^v 1))")
+
+    def test_rhs_unbound_variable_rejected(self):
+        with pytest.raises(SemanticError):
+            parse_production("(p r (a) --> (make b ^v <nope>))")
+
+    def test_bind_makes_variable_available(self):
+        # <y> is unbound on the LHS but bound by the bind action.
+        p = parse_production(
+            "(p r (a ^v <x>) --> (bind <y> <x>) (make b ^v <y>))")
+        assert len(p.rhs) == 2
+
+
+class TestProgramForms:
+    def test_multiple_productions(self):
+        prog = parse_program("""
+            (p r1 (a) --> (halt))
+            (p r2 (b) --> (halt))
+        """)
+        assert [p.name for p in prog.productions] == ["r1", "r2"]
+        assert prog.production("r2").name == "r2"
+
+    def test_unknown_production_lookup_raises(self):
+        prog = parse_program("(p r1 (a) --> (halt))")
+        with pytest.raises(KeyError):
+            prog.production("missing")
+
+    def test_literalize_accepted(self):
+        prog = parse_program("""
+            (literalize block name color on)
+            (p r (block) --> (halt))
+        """)
+        assert len(prog.productions) == 1
+
+    def test_startup_collects_initial_wmes(self):
+        prog = parse_program("""
+            (startup (make block ^name b1) (make hand ^state free))
+        """)
+        assert prog.initial_wmes == (
+            ("block", (("name", "b1"),)),
+            ("hand", (("state", "free"),)),
+        )
+
+    def test_startup_rejects_non_make(self):
+        with pytest.raises(ParseError):
+            parse_program("(startup (remove 1))")
+
+    def test_unknown_top_level_form_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("(frobnicate)")
+
+    def test_comments_ignored(self):
+        prog = parse_program("""
+            ; a whole-line comment
+            (p r (a) --> (halt)) ; trailing comment
+        """)
+        assert len(prog.productions) == 1
+
+    def test_parse_production_rejects_multiple(self):
+        with pytest.raises(ParseError):
+            parse_production("(p a (x) --> (halt)) (p b (y) --> (halt))")
+
+
+class TestRoundTrip:
+    def test_str_of_production_reparses(self):
+        source = """
+        (p clear-the-blue-block
+          (block ^name <b2> ^color blue)
+          (block ^name <b2> ^on <b1>)
+          -(hand ^state busy)
+          -->
+          (remove 2)
+          (make note ^text |cleared it|))
+        """
+        p1 = parse_production(source)
+        p2 = parse_production(str(p1))
+        assert p1 == p2

@@ -1,0 +1,128 @@
+"""Property-based round trip: random Production ASTs printed as OPS5
+source must re-parse to the identical AST.
+
+This fuzzes the lexer, parser and the __str__ printers together, and
+has historically been the test that finds quoting and precedence bugs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ops5 import (AttrTest, BindAction, ComputeExpr,
+                        ConditionElement, Constant, Disjunction,
+                        HaltAction, MakeAction, ModifyAction, Predicate,
+                        Production, RemoveAction, RHSValue, Variable,
+                        WriteAction, parse_production)
+
+CLASSES = ["alpha", "beta", "gamma"]
+ATTRS = ["p", "q", "r"]
+VAR_NAMES = ["x", "y", "z"]
+
+symbols = st.sampled_from(["red", "blue", "two words", "nil", "a%b",
+                           "with|bar", "42ish"])
+numbers = st.one_of(st.integers(min_value=-999, max_value=999),
+                    st.sampled_from([2.5, -0.125, 100.75]))
+constants = st.one_of(symbols, numbers)
+
+relational = st.sampled_from([Predicate.NE, Predicate.LT, Predicate.LE,
+                              Predicate.GT, Predicate.GE])
+
+
+@st.composite
+def productions(draw):
+    n_ces = draw(st.integers(min_value=1, max_value=4))
+    bound = []
+    ces = []
+    for ce_index in range(n_ces):
+        negated = ce_index > 0 and draw(st.booleans()) \
+            and draw(st.booleans())
+        n_tests = draw(st.integers(min_value=0, max_value=3))
+        tests = []
+        for _ in range(n_tests):
+            attr = draw(st.sampled_from(ATTRS))
+            choice = draw(st.integers(min_value=0, max_value=3))
+            if choice == 0:
+                tests.append(AttrTest(attr, Predicate.EQ,
+                                      Constant(draw(constants))))
+            elif choice == 1:
+                values = draw(st.lists(constants, min_size=1,
+                                       max_size=3, unique_by=str))
+                tests.append(AttrTest(attr, Predicate.EQ,
+                                      Disjunction(tuple(values))))
+            elif choice == 2 or not bound:
+                var = draw(st.sampled_from(VAR_NAMES))
+                tests.append(AttrTest(attr, Predicate.EQ,
+                                      Variable(var)))
+                if not negated and var not in bound:
+                    bound.append(var)
+            else:
+                tests.append(AttrTest(attr, draw(relational),
+                                      Variable(draw(
+                                          st.sampled_from(bound)))))
+        ces.append(ConditionElement(cls=draw(st.sampled_from(CLASSES)),
+                                    tests=tuple(tests),
+                                    negated=negated))
+
+    positive_indices = [i + 1 for i, ce in enumerate(ces)
+                        if not ce.negated]
+    actions = []
+    n_actions = draw(st.integers(min_value=0, max_value=3))
+    local_bound = list(bound)
+    for _ in range(n_actions):
+        kind = draw(st.integers(min_value=0, max_value=5))
+        if kind == 0:
+            n_assign = draw(st.integers(min_value=0, max_value=2))
+            assigns = []
+            for _ in range(n_assign):
+                attr = draw(st.sampled_from(ATTRS))
+                if local_bound and draw(st.booleans()):
+                    value = RHSValue(Variable(draw(
+                        st.sampled_from(local_bound))))
+                else:
+                    value = RHSValue(Constant(draw(constants)))
+                assigns.append((attr, value))
+            actions.append(MakeAction(
+                cls=draw(st.sampled_from(CLASSES)),
+                assignments=tuple(assigns)))
+        elif kind == 1 and positive_indices:
+            actions.append(RemoveAction(ce_indices=(
+                draw(st.sampled_from(positive_indices)),)))
+        elif kind == 2 and positive_indices:
+            actions.append(ModifyAction(
+                ce_index=draw(st.sampled_from(positive_indices)),
+                assignments=(("p", RHSValue(Constant(1))),)))
+        elif kind == 3:
+            actions.append(WriteAction(values=(
+                RHSValue(Constant(draw(symbols))),)))
+        elif kind == 4 and local_bound:
+            expr = ComputeExpr((Variable(draw(
+                st.sampled_from(local_bound))),
+                draw(st.sampled_from(["+", "-", "*"])),
+                Constant(draw(st.integers(min_value=1, max_value=9)))))
+            var = draw(st.sampled_from(VAR_NAMES))
+            actions.append(BindAction(variable=var,
+                                      value=RHSValue(expr)))
+            if var not in local_bound:
+                local_bound.append(var)
+        else:
+            actions.append(HaltAction())
+
+    return Production(name="fuzzed", lhs=tuple(ces),
+                      rhs=tuple(actions))
+
+
+@settings(max_examples=300, deadline=None)
+@given(production=productions())
+def test_print_parse_roundtrip(production):
+    source = str(production)
+    reparsed = parse_production(source)
+    assert reparsed == production, source
+
+
+@settings(max_examples=100, deadline=None)
+@given(production=productions())
+def test_double_roundtrip_is_stable(production):
+    once = parse_production(str(production))
+    twice = parse_production(str(once))
+    assert once == twice

@@ -1,0 +1,96 @@
+"""Unit tests for the OPS5 value model."""
+
+import pytest
+
+from repro.ops5.values import (NIL, coerce_atom, format_value, is_number,
+                               is_symbol, values_equal, values_ordered)
+
+
+class TestTypePredicates:
+    def test_int_is_number(self):
+        assert is_number(3)
+
+    def test_float_is_number(self):
+        assert is_number(3.5)
+
+    def test_bool_is_not_number(self):
+        # True == 1 in Python; OPS5 has no booleans, so reject them.
+        assert not is_number(True)
+
+    def test_symbol_is_not_number(self):
+        assert not is_number("3")
+
+    def test_str_is_symbol(self):
+        assert is_symbol("blue")
+
+    def test_number_is_not_symbol(self):
+        assert not is_symbol(7)
+
+
+class TestEquality:
+    def test_numbers_equal_across_types(self):
+        assert values_equal(1, 1.0)
+
+    def test_symbol_number_never_equal(self):
+        assert not values_equal("1", 1)
+
+    def test_symbols_literal(self):
+        assert values_equal("blue", "blue")
+        assert not values_equal("blue", "Blue")
+
+    def test_nil_equals_nil(self):
+        assert values_equal(NIL, "nil")
+
+
+class TestOrdering:
+    def test_numbers_ordered(self):
+        assert values_ordered(1, 2.5)
+
+    def test_symbols_not_ordered(self):
+        assert not values_ordered("a", "b")
+
+    def test_mixed_not_ordered(self):
+        assert not values_ordered("a", 1)
+
+
+class TestFormatting:
+    def test_plain_symbol(self):
+        assert format_value("blue") == "blue"
+
+    def test_symbol_with_space_is_quoted(self):
+        assert format_value("two words") == "|two words|"
+
+    def test_empty_symbol_is_quoted(self):
+        assert format_value("") == "||"
+
+    def test_integer(self):
+        assert format_value(42) == "42"
+
+    def test_integral_float_prints_as_int(self):
+        # Keeps round-trips type-stable through coerce_atom.
+        assert format_value(2.0) == "2"
+
+    def test_fractional_float(self):
+        assert format_value(2.5) == "2.5"
+
+    def test_symbol_with_angle_bracket_quoted(self):
+        assert format_value("a<b") == "|a<b|"
+
+
+class TestCoercion:
+    def test_int(self):
+        assert coerce_atom("42") == 42
+        assert isinstance(coerce_atom("42"), int)
+
+    def test_negative_int(self):
+        assert coerce_atom("-7") == -7
+
+    def test_float(self):
+        assert coerce_atom("2.5") == 2.5
+
+    def test_symbol(self):
+        assert coerce_atom("blue") == "blue"
+
+    def test_roundtrip_through_format(self):
+        for v in [42, -7, 2.5, "blue", "nil"]:
+            assert coerce_atom(format_value(v)) == v

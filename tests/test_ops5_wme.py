@@ -1,0 +1,105 @@
+"""Unit tests for wmes and the working memory."""
+
+import pytest
+
+from repro.ops5.errors import ExecutionError
+from repro.ops5.values import NIL
+from repro.ops5.wme import WME, WorkingMemory
+
+
+class TestWME:
+    def test_get_present_attribute(self):
+        w = WME(1, "block", {"color": "blue"})
+        assert w.get("color") == "blue"
+
+    def test_get_missing_attribute_is_nil(self):
+        w = WME(1, "block", {})
+        assert w.get("color") == NIL
+
+    def test_str_renders_ops5_syntax(self):
+        w = WME(1, "block", {"color": "blue", "name": "b1"})
+        assert str(w) == "(block ^color blue ^name b1)"
+
+    def test_with_updates_overrides_and_keeps(self):
+        w = WME(1, "block", {"color": "blue", "name": "b1"})
+        w2 = w.with_updates({"color": "red"}, wme_id=9, timestamp=5)
+        assert w2.get("color") == "red"
+        assert w2.get("name") == "b1"
+        assert w2.wme_id == 9 and w2.timestamp == 5
+        # original untouched
+        assert w.get("color") == "blue"
+
+
+class TestWorkingMemory:
+    def test_add_assigns_unique_increasing_ids(self):
+        wm = WorkingMemory()
+        a = wm.add("block", {})
+        b = wm.add("block", {})
+        assert a.wme_id != b.wme_id
+        assert b.wme_id > a.wme_id
+
+    def test_timestamps_increase(self):
+        wm = WorkingMemory()
+        a = wm.add("block", {})
+        b = wm.add("block", {})
+        assert b.timestamp > a.timestamp
+
+    def test_len_and_contains(self):
+        wm = WorkingMemory()
+        a = wm.add("block", {})
+        assert len(wm) == 1
+        assert a.wme_id in wm
+
+    def test_remove_returns_wme(self):
+        wm = WorkingMemory()
+        a = wm.add("block", {"name": "b1"})
+        removed = wm.remove(a.wme_id)
+        assert removed == a
+        assert len(wm) == 0
+
+    def test_remove_missing_raises(self):
+        wm = WorkingMemory()
+        with pytest.raises(ExecutionError):
+            wm.remove(99)
+
+    def test_double_remove_raises(self):
+        wm = WorkingMemory()
+        a = wm.add("block", {})
+        wm.remove(a.wme_id)
+        with pytest.raises(ExecutionError):
+            wm.remove(a.wme_id)
+
+    def test_modify_is_delete_then_add(self):
+        """Modify semantics matter: they create the paper's
+        multiple-modify effect, so the old wme must go away entirely and
+        the new one must carry a fresh id and newer timestamp."""
+        wm = WorkingMemory()
+        a = wm.add("block", {"color": "blue", "name": "b1"})
+        old, new = wm.modify(a.wme_id, {"color": "red"})
+        assert old == a
+        assert new.wme_id != a.wme_id
+        assert new.timestamp > a.timestamp
+        assert new.get("color") == "red"
+        assert new.get("name") == "b1"
+        assert a.wme_id not in wm
+        assert new.wme_id in wm
+
+    def test_get_returns_none_for_removed(self):
+        wm = WorkingMemory()
+        a = wm.add("block", {})
+        wm.remove(a.wme_id)
+        assert wm.get(a.wme_id) is None
+
+    def test_snapshot_is_tuple(self):
+        wm = WorkingMemory()
+        wm.add("block", {})
+        snap = wm.snapshot()
+        assert isinstance(snap, tuple)
+        assert len(snap) == 1
+
+    def test_clock_advances_per_action_not_per_cycle(self):
+        wm = WorkingMemory()
+        c0 = wm.clock
+        wm.add("a", {})
+        wm.add("b", {})
+        assert wm.clock == c0 + 2

@@ -1,0 +1,72 @@
+"""Tests for the Graphviz DOT export."""
+
+import pytest
+
+from repro.ops5 import parse_production
+from repro.rete import build_network, save_dot, to_dot
+
+
+def network():
+    return build_network([
+        parse_production("""
+            (p clear-blue
+              (block ^name <b1> ^color blue)
+              (block ^name <b2> ^on <b1>)
+              -(hand ^state busy)
+              --> (remove 2))
+        """),
+    ])
+
+
+class TestToDot:
+    def test_is_a_digraph(self):
+        dot = to_dot(network())
+        assert dot.startswith('digraph "rete" {')
+        assert dot.rstrip().endswith("}")
+
+    def test_contains_production_terminal(self):
+        assert '"clear-blue"' in to_dot(network())
+
+    def test_contains_alpha_patterns(self):
+        dot = to_dot(network())
+        assert "block" in dot
+        assert "^color = blue" in dot or "^color blue" in dot
+
+    def test_negative_node_marked(self):
+        dot = to_dot(network())
+        assert "NOT" in dot
+        assert "style=dashed" in dot
+
+    def test_hash_key_annotated(self):
+        dot = to_dot(network())
+        assert "hash: <b1>=^on" in dot
+
+    def test_edge_sides_labelled(self):
+        dot = to_dot(network())
+        assert "[label=left, style=bold]" in dot
+        assert "[label=right]" in dot
+
+    def test_custom_title_quoted(self):
+        dot = to_dot(network(), title='my "net"')
+        assert 'digraph "my \\"net\\"" {' in dot
+
+    def test_every_node_id_unique(self):
+        dot = to_dot(network())
+        declared = [line.split()[0] for line in dot.splitlines()
+                    if line.strip().startswith(("a", "n"))
+                    and "[" in line and "->" not in line]
+        assert len(declared) == len(set(declared))
+
+    def test_shared_node_appears_once(self):
+        rules = [parse_production(
+            f"(p r{i} (a ^v <x>) (b ^w <x>) --> (remove 1))")
+            for i in range(2)]
+        dot = to_dot(build_network(rules))
+        # One join declaration, two terminals.
+        joins = [l for l in dot.splitlines() if "hash:" in l]
+        assert len(joins) == 1
+
+    def test_save_dot(self, tmp_path):
+        path = tmp_path / "net.dot"
+        save_dot(network(), path)
+        assert path.read_text().startswith("digraph")

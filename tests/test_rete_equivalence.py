@@ -1,0 +1,162 @@
+"""Property-based equivalence: Rete vs the naive matcher.
+
+The naive matcher recomputes every instantiation from scratch, so it is
+trivially correct.  These tests drive randomly generated rule sets and
+random add/remove churn through both matchers and require identical
+conflict sets at every step — the strongest correctness statement we can
+make about the incremental engine.
+"""
+
+from typing import List
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ops5 import NaiveMatcher, parse_production
+from repro.ops5.wme import WME
+from repro.rete import ReteNetwork
+
+# Small alphabets keep collision (join hits, negation interplay) likely.
+CLASSES = ["a", "b", "c"]
+ATTRS = ["p", "q"]
+VALUES = [1, 2, "x"]
+
+
+wme_payloads = st.builds(
+    dict,
+    p=st.sampled_from(VALUES),
+    q=st.sampled_from(VALUES),
+)
+
+# A catalogue of structurally diverse productions: joins, constants,
+# negation, relational tests, cross products.
+PRODUCTION_SOURCES = [
+    "(p join2 (a ^p <x>) (b ^p <x>) --> (remove 1))",
+    "(p join2q (a ^q <x>) (b ^q <x>) --> (remove 1))",
+    "(p const (a ^p 1) --> (remove 1))",
+    "(p cross (a) (b) --> (remove 1))",
+    "(p chain3 (a ^p <x>) (b ^p <x> ^q <y>) (c ^q <y>) --> (remove 1))",
+    "(p neg (a) -(c) --> (remove 1))",
+    "(p negjoin (a ^p <x>) -(b ^p <x>) --> (remove 1))",
+    "(p negmid (a ^p <x>) -(c ^p <x>) (b) --> (remove 1))",
+    "(p rel (a ^p <x>) (b ^p > <x>) --> (remove 1))",
+    "(p intra (a ^p <x> ^q <x>) --> (remove 1))",
+    "(p selfjoin (a ^p <x>) (a ^q <x>) --> (remove 1))",
+    "(p disj (a ^p << 1 x >>) --> (remove 1))",
+    "(p negdisj (a) -(b ^q << 2 x >>) --> (remove 1))",
+]
+
+
+def conflict_signature(matcher):
+    """Canonical form of a conflict set for comparison."""
+    return sorted((inst.production.name,
+                   tuple(w.wme_id for w in inst.wmes))
+                  for inst in matcher.conflict_set())
+
+
+@st.composite
+def churn_scripts(draw):
+    """A random sequence of adds and removes over a shared wme pool."""
+    n_ops = draw(st.integers(min_value=1, max_value=25))
+    ops = []
+    live: List[int] = []
+    next_id = 1
+    for _ in range(n_ops):
+        if live and draw(st.booleans()) and draw(st.booleans()):
+            victim = draw(st.sampled_from(live))
+            live.remove(victim)
+            ops.append(("remove", victim))
+        else:
+            cls = draw(st.sampled_from(CLASSES))
+            payload = draw(wme_payloads)
+            ops.append(("add", next_id, cls, payload))
+            live.append(next_id)
+            next_id += 1
+    return ops
+
+
+@st.composite
+def rule_subsets(draw):
+    indices = draw(st.lists(
+        st.integers(min_value=0, max_value=len(PRODUCTION_SOURCES) - 1),
+        min_size=1, max_size=5, unique=True))
+    return [PRODUCTION_SOURCES[i] for i in indices]
+
+
+@settings(max_examples=200, deadline=None)
+@given(rules=rule_subsets(), script=churn_scripts())
+def test_rete_equals_naive_under_churn(rules, script):
+    rete = ReteNetwork()
+    naive = NaiveMatcher()
+    for source in rules:
+        production = parse_production(source)
+        rete.add_production(production)
+        naive.add_production(production)
+
+    wmes = {}
+    timestamp = 0
+    for op in script:
+        if op[0] == "add":
+            _, wid, cls, payload = op
+            timestamp += 1
+            wme = WME(wid, cls, payload, timestamp=timestamp)
+            wmes[wid] = wme
+            rete.add_wme(wme)
+            naive.add_wme(wme)
+        else:
+            wme = wmes.pop(op[1])
+            rete.remove_wme(wme)
+            naive.remove_wme(wme)
+        assert conflict_signature(rete) == conflict_signature(naive)
+
+
+@settings(max_examples=100, deadline=None)
+@given(rules=rule_subsets(), script=churn_scripts())
+def test_memories_empty_after_removing_everything(rules, script):
+    """State-saving invariant: removing all wmes drains all memory."""
+    rete = ReteNetwork()
+    for source in rules:
+        rete.add_production(parse_production(source))
+    live = {}
+    timestamp = 0
+    for op in script:
+        if op[0] == "add":
+            _, wid, cls, payload = op
+            timestamp += 1
+            wme = WME(wid, cls, payload, timestamp=timestamp)
+            live[wid] = wme
+            rete.add_wme(wme)
+        else:
+            rete.remove_wme(live.pop(op[1]))
+    for wme in list(live.values()):
+        rete.remove_wme(wme)
+    assert rete.memories.is_empty()
+    assert rete.conflict_set() == []
+
+
+@settings(max_examples=100, deadline=None)
+@given(rules=rule_subsets(), script=churn_scripts())
+def test_unshared_network_equals_shared(rules, script):
+    """Unsharing (Fig 5-3) must not change match semantics."""
+    shared = ReteNetwork(share=True)
+    unshared = ReteNetwork(share=False)
+    for source in rules:
+        production = parse_production(source)
+        shared.add_production(production)
+        unshared.add_production(production)
+    live = {}
+    timestamp = 0
+    for op in script:
+        if op[0] == "add":
+            _, wid, cls, payload = op
+            timestamp += 1
+            wme = WME(wid, cls, payload, timestamp=timestamp)
+            live[wid] = wme
+            shared.add_wme(wme)
+            unshared.add_wme(wme)
+        else:
+            wme = live.pop(op[1])
+            shared.remove_wme(wme)
+            unshared.remove_wme(wme)
+        assert conflict_signature(shared) == conflict_signature(unshared)

@@ -1,0 +1,121 @@
+"""Tests for the Section 3.1 memory-footprint model and partitioning."""
+
+import pytest
+
+from repro.ops5 import parse_production
+from repro.rete import (INLINE_BYTES_PER_NODE, STRUCT_BYTES_PER_NODE,
+                        build_network, inline_bytes, partition_nodes,
+                        partitions_needed, struct_bytes)
+
+
+def synthetic_ruleset(n_productions, ces_per_production=3):
+    """n distinct productions, each with its own join chain."""
+    rules = []
+    for i in range(n_productions):
+        ces = " ".join(f"(c{i}x{j} ^v <x>)"
+                       for j in range(ces_per_production))
+        rules.append(parse_production(f"(p r{i} {ces} --> (remove 1))"))
+    return rules
+
+
+class TestSizeEstimates:
+    def test_paper_scale_inline_footprint(self):
+        """~1000 productions land in the paper's 1-2 MB band under
+        in-line expansion."""
+        net = build_network(synthetic_ruleset(1000))
+        size = inline_bytes(net)
+        assert 1_000_000 <= size <= 2_000_000
+
+    def test_struct_encoding_is_drastically_smaller(self):
+        net = build_network(synthetic_ruleset(1000))
+        assert struct_bytes(net) < inline_bytes(net) / 20
+
+    def test_struct_uses_14_byte_nodes(self):
+        # Direct arithmetic: total = 14 * nodes + interpreter.
+        from repro.rete.footprint import STRUCT_INTERPRETER_BYTES
+        net = build_network(synthetic_ruleset(10))
+        assert struct_bytes(net) == \
+            14 * net.node_count() + STRUCT_INTERPRETER_BYTES
+
+
+class TestPartitionsNeeded:
+    def test_small_program_needs_one_partition(self):
+        net = build_network(synthetic_ruleset(5))
+        assert partitions_needed(net, 20_000, "struct") == 1
+
+    def test_paper_scale_fits_20kb_with_struct_encoding(self):
+        """The point of the 14-byte encoding: ~1000 productions fit a
+        20 KB local memory in very few partitions."""
+        net = build_network(synthetic_ruleset(1000))
+        assert partitions_needed(net, 20_000, "struct") <= 3
+
+    def test_inline_needs_many_more_partitions(self):
+        net = build_network(synthetic_ruleset(1000))
+        inline = partitions_needed(net, 20_000, "inline")
+        struct = partitions_needed(net, 20_000, "struct")
+        assert inline > 20 * struct
+
+    def test_empty_network(self):
+        net = build_network([])
+        assert partitions_needed(net, 20_000) == 1
+
+    def test_rejects_hopeless_budget(self):
+        net = build_network(synthetic_ruleset(5))
+        with pytest.raises(ValueError):
+            partitions_needed(net, 10, "struct")
+
+    def test_rejects_unknown_encoding(self):
+        net = build_network(synthetic_ruleset(2))
+        with pytest.raises(ValueError):
+            partitions_needed(net, 20_000, "quantum")
+
+    def test_rejects_nonpositive_memory(self):
+        net = build_network(synthetic_ruleset(2))
+        with pytest.raises(ValueError):
+            partitions_needed(net, 0)
+
+
+class TestPartitioning:
+    def test_every_node_assigned(self):
+        net = build_network(synthetic_ruleset(20))
+        result = partition_nodes(net, 4)
+        assert set(result.assignment) == \
+            {n.node_id for n in net.two_input_nodes()}
+
+    def test_production_nodes_spread(self):
+        """The contention rule: a production's nodes go to different
+        partitions when enough partitions exist."""
+        rules = synthetic_ruleset(10, ces_per_production=4)
+        net = build_network(rules)
+        result = partition_nodes(net, 4)
+        assert result.conflicted_productions == []
+        for name, node_ids in net.production_nodes.items():
+            partitions = [result.assignment[n] for n in node_ids]
+            assert len(set(partitions)) == len(partitions), name
+
+    def test_conflict_reported_when_partitions_too_few(self):
+        rules = synthetic_ruleset(3, ces_per_production=5)  # 4 joins
+        net = build_network(rules)
+        result = partition_nodes(net, 2)
+        assert len(result.conflicted_productions) == 3
+
+    def test_load_balanced(self):
+        net = build_network(synthetic_ruleset(40))
+        result = partition_nodes(net, 8)
+        sizes = result.partition_sizes()
+        assert max(sizes) - min(sizes) <= 2
+
+    def test_shared_nodes_keep_first_assignment(self):
+        shared = [parse_production(
+            "(p a (x ^v <i>) (y ^w <i>) --> (remove 1))"),
+            parse_production(
+            "(p b (x ^v <i>) (y ^w <i>) --> (remove 1))")]
+        net = build_network(shared)
+        result = partition_nodes(net, 4)
+        # One shared join node: exactly one assignment entry.
+        assert len(result.assignment) == 1
+
+    def test_rejects_zero_partitions(self):
+        net = build_network(synthetic_ruleset(2))
+        with pytest.raises(ValueError):
+            partition_nodes(net, 0)

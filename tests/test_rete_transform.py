@@ -1,0 +1,141 @@
+"""Tests for the Section 5.2 transformations at the network/source level."""
+
+import pytest
+
+from repro.ops5 import NaiveMatcher, parse_production
+from repro.ops5.wme import WME
+from repro.rete import (build_network, build_unshared_network,
+                        copy_and_constraint_ranges,
+                        copy_and_constraint_values, sharing_factor)
+
+
+def signature(matcher):
+    return sorted((inst.production.name.split("*")[0],
+                   tuple(w.wme_id for w in inst.wmes))
+                  for inst in matcher.conflict_set())
+
+
+class TestUnsharing:
+    RULES = [
+        "(p o1 (i1 ^v <x>) (i2 ^w <x>) (o ^k 1) --> (remove 1))",
+        "(p o2 (i1 ^v <x>) (i2 ^w <x>) (o ^k 2) --> (remove 1))",
+    ]
+
+    def test_figure_5_3_shape(self):
+        """Two outputs sharing the I1xI2 join: unsharing duplicates it."""
+        productions = [parse_production(s) for s in self.RULES]
+        shared = build_network(productions)
+        unshared = build_unshared_network(productions)
+        assert shared.node_count() == 3    # join(i1,i2) + two o-joins
+        assert unshared.node_count() == 4  # the i1xi2 join is duplicated
+
+    def test_sharing_factor(self):
+        productions = [parse_production(s) for s in self.RULES]
+        assert sharing_factor(productions) == pytest.approx(4 / 3)
+
+    def test_sharing_factor_single_production_is_one(self):
+        p = parse_production("(p r (a) (b) --> (remove 1))")
+        assert sharing_factor([p]) == 1.0
+
+
+class TestCopyAndConstraintValues:
+    def setup_method(self):
+        self.production = parse_production("""
+            (p sched (game ^slot <s>) (slot ^id <s> ^day <d>)
+               --> (remove 1))
+        """)
+
+    def test_produces_one_copy_per_value(self):
+        copies = copy_and_constraint_values(
+            self.production, ce_index=2, attr="day",
+            values=["mon", "tue", "wed"])
+        assert [p.name for p in copies] == \
+            ["sched*cc1", "sched*cc2", "sched*cc3"]
+
+    def test_copies_preserve_rhs(self):
+        copies = copy_and_constraint_values(
+            self.production, 2, "day", ["mon"])
+        assert copies[0].rhs == self.production.rhs
+
+    def test_union_of_copies_equals_original(self):
+        copies = copy_and_constraint_values(
+            self.production, 2, "day", ["mon", "tue"])
+        original = NaiveMatcher()
+        original.add_production(self.production)
+        split = NaiveMatcher()
+        for c in copies:
+            split.add_production(c)
+        wmes = [
+            WME(1, "game", {"slot": "s1"}),
+            WME(2, "slot", {"id": "s1", "day": "mon"}),
+            WME(3, "slot", {"id": "s1", "day": "tue"}),
+        ]
+        for w in wmes:
+            original.add_wme(w)
+            split.add_wme(w)
+        assert signature(original) == signature(split)
+
+    def test_copies_have_distinct_rete_nodes(self):
+        """The whole point: distinct node-ids give distinct hash buckets."""
+        copies = copy_and_constraint_values(
+            self.production, 2, "day", ["mon", "tue", "wed"])
+        net = build_network(copies)
+        # No sharing possible across the constrained CEs.
+        assert net.node_count() == 3
+
+    def test_rejects_empty_values(self):
+        with pytest.raises(ValueError):
+            copy_and_constraint_values(self.production, 2, "day", [])
+
+    def test_rejects_duplicate_values(self):
+        with pytest.raises(ValueError):
+            copy_and_constraint_values(self.production, 2, "day",
+                                       ["mon", "mon"])
+
+    def test_rejects_bad_ce_index(self):
+        with pytest.raises(ValueError):
+            copy_and_constraint_values(self.production, 9, "day", ["mon"])
+
+
+class TestCopyAndConstraintRanges:
+    def setup_method(self):
+        self.production = parse_production("""
+            (p route (net ^load <l>) (wire ^load <l>) --> (remove 1))
+        """)
+
+    def test_ranges_partition_domain(self):
+        copies = copy_and_constraint_ranges(
+            self.production, 1, "load", [0, 10, 20])
+        assert len(copies) == 2
+        original = NaiveMatcher()
+        original.add_production(self.production)
+        split = NaiveMatcher()
+        for c in copies:
+            split.add_production(c)
+        # Values across the whole domain including both boundaries.
+        for i, load in enumerate([0, 5, 10, 15, 20]):
+            w1 = WME(2 * i + 1, "net", {"load": load})
+            w2 = WME(2 * i + 2, "wire", {"load": load})
+            for m in (original, split):
+                m.add_wme(w1)
+                m.add_wme(w2)
+        assert signature(original) == signature(split)
+
+    def test_no_double_match_at_interior_boundary(self):
+        copies = copy_and_constraint_ranges(
+            self.production, 1, "load", [0, 10, 20])
+        split = NaiveMatcher()
+        for c in copies:
+            split.add_production(c)
+        split.add_wme(WME(1, "net", {"load": 10}))
+        split.add_wme(WME(2, "wire", {"load": 10}))
+        assert len(split.conflict_set()) == 1
+
+    def test_rejects_single_boundary(self):
+        with pytest.raises(ValueError):
+            copy_and_constraint_ranges(self.production, 1, "load", [0])
+
+    def test_rejects_nonincreasing_boundaries(self):
+        with pytest.raises(ValueError):
+            copy_and_constraint_ranges(self.production, 1, "load",
+                                       [0, 0, 10])

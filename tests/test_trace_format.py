@@ -1,0 +1,134 @@
+"""Tests for the trace text format (round trips, error handling)."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ops5 import parse_program
+from repro.rete.hashing import BucketKey
+from repro.trace import (CycleTrace, SectionTrace, TraceActivation,
+                         TraceFormatError, dumps_trace, loads_trace,
+                         read_trace, record_program, save_trace,
+                         validate_trace)
+from repro.trace.format import _decode_value, _encode_value
+
+PROGRAM = """
+(startup (make stage ^n 1) (make item ^v 1) (make item ^v 2))
+(p bump (stage ^n <k>) (item ^v <k>) --> (remove 2) (modify 1 ^n 2))
+"""
+
+
+def sample_trace():
+    return record_program(parse_program(PROGRAM), "sample",
+                          drop_setup_cycle=False)
+
+
+class TestValueEncoding:
+    @pytest.mark.parametrize("value", [
+        0, 42, -7, 2.5, -0.125, "blue", "two words", "a%b",
+        "tab\there", "line\nbreak", "", "n:tricky", "1",
+    ])
+    def test_roundtrip(self, value):
+        assert _decode_value(_encode_value(value)) == value
+
+    def test_symbol_one_vs_number_one(self):
+        assert _encode_value("1") != _encode_value(1)
+
+    def test_bad_tag_raises(self):
+        with pytest.raises(TraceFormatError):
+            _decode_value("z:oops")
+
+    def test_missing_colon_raises(self):
+        with pytest.raises(TraceFormatError):
+            _decode_value("nope")
+
+
+class TestRoundTrip:
+    def test_recorded_trace_roundtrips(self):
+        trace = sample_trace()
+        text = dumps_trace(trace)
+        back = loads_trace(text)
+        assert back.name == trace.name
+        assert len(back.cycles) == len(trace.cycles)
+        for c1, c2 in zip(trace, back):
+            assert c1.index == c2.index
+            assert len(c1) == len(c2)
+            for a1, a2 in zip(c1, c2):
+                assert a1 == a2
+
+    def test_roundtrip_validates(self):
+        back = loads_trace(dumps_trace(sample_trace()))
+        assert validate_trace(back) == []
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.txt"
+        save_trace(trace, path)
+        back = read_trace(path)
+        assert dumps_trace(back) == dumps_trace(trace)
+
+    def test_section_name_with_spaces(self):
+        trace = SectionTrace(name="a section name")
+        assert loads_trace(dumps_trace(trace)).name == "a section name"
+
+
+class TestErrors:
+    def test_missing_magic(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace("section foo\n")
+
+    def test_missing_section(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace("#repro-trace 1\ncycle 0\n")
+
+    def test_activation_before_cycle(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace("#repro-trace 1\nsection s\n"
+                        "a 1 - 2 join left + k :\n")
+
+    def test_unknown_line(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace("#repro-trace 1\nsection s\nwhat is this\n")
+
+    def test_bad_kind(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace("#repro-trace 1\nsection s\ncycle 0\n"
+                        "a 1 - 2 frob left + k :\n")
+
+    def test_bad_cycle_header(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace("#repro-trace 1\nsection s\ncycle x\n")
+
+    def test_comments_and_blanks_ignored(self):
+        trace = loads_trace(
+            "#repro-trace 1\nsection s\n\n# a comment\ncycle 3\n"
+            "a 1 - 2 join left + k n:1 :\n")
+        assert trace.cycles[0].index == 3
+        [act] = list(trace.cycles[0])
+        assert act.key == BucketKey(2, (1,))
+
+
+values = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(min_size=0, max_size=12),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(vals=st.lists(values, max_size=4),
+       tag=st.sampled_from("+-"),
+       side=st.sampled_from(["left", "right"]),
+       node=st.integers(min_value=1, max_value=99))
+def test_single_activation_roundtrip_property(vals, tag, side, node):
+    cycle = CycleTrace(index=1)
+    cycle.add(TraceActivation(
+        act_id=1, parent_id=None, node_id=node, kind="join", side=side,
+        tag=tag, key=BucketKey(node, tuple(vals)), successors=()))
+    trace = SectionTrace(name="prop", cycles=[cycle])
+    back = loads_trace(dumps_trace(trace))
+    [act] = list(back.cycles[0])
+    assert act.key.values == tuple(vals)
+    assert act.tag == tag and act.side == side

@@ -1,0 +1,147 @@
+"""Mutation testing of the trace validator: random structural
+corruptions of valid traces must be detected.
+
+The simulators trust validated traces; a validator hole would let a
+corrupt trace skew timing results silently.  Each mutator below breaks
+one structural rule; the property test applies random mutators to
+random valid traces and requires the validator to object.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rete.hashing import BucketKey
+from repro.trace import validate_trace
+from repro.trace.events import TraceActivation
+from repro.workloads import SectionSpec, generate_section
+
+
+def small_trace(seed):
+    return generate_section(SectionSpec(
+        name="mut", cycles=2, right_activations=20, left_activations=30,
+        terminals_per_cycle=2, seed=seed))
+
+
+def pick_act(trace, rng, predicate=lambda a: True):
+    candidates = [(c, a) for c in trace.cycles for a in c
+                  if predicate(a)]
+    if not candidates:
+        return None, None
+    return candidates[rng.randrange(len(candidates))]
+
+
+# --- mutators: each returns True if it could apply a corruption --------
+
+def mutate_dangling_parent(trace, rng):
+    cycle, act = pick_act(trace, rng, lambda a: a.parent_id is not None)
+    if act is None:
+        return False
+    act.parent_id = cycle.max_act_id() + 1000
+    return True
+
+
+def mutate_orphan_successor(trace, rng):
+    cycle, act = pick_act(trace, rng, lambda a: a.successors)
+    if act is None:
+        return False
+    act.successors = act.successors + (cycle.max_act_id() + 999,)
+    return True
+
+
+def mutate_steal_successor(trace, rng):
+    cycle, act = pick_act(trace, rng,
+                          lambda a: a.parent_id is not None)
+    if act is None:
+        return False
+    # Re-point the child's parent without fixing the old parent's list
+    # (the current parent is excluded — keeping it would be a no-op).
+    others = [a for a in cycle if a.act_id != act.act_id
+              and a.act_id != act.parent_id
+              and a.kind != "terminal"
+              and a.act_id < act.act_id]
+    if not others:
+        return False
+    act.parent_id = others[rng.randrange(len(others))].act_id
+    return True
+
+
+def mutate_bad_side(trace, rng):
+    cycle, act = pick_act(trace, rng)
+    if act is None:
+        return False
+    act.side = "sideways"
+    return True
+
+
+def mutate_bad_tag(trace, rng):
+    cycle, act = pick_act(trace, rng)
+    if act is None:
+        return False
+    act.tag = "?"
+    return True
+
+
+def mutate_key_node_mismatch(trace, rng):
+    cycle, act = pick_act(trace, rng)
+    if act is None:
+        return False
+    act.key = BucketKey(act.node_id + 17, act.key.values)
+    return True
+
+
+def mutate_terminal_with_successors(trace, rng):
+    cycle, act = pick_act(trace, rng, lambda a: a.kind == "terminal")
+    if act is None:
+        return False
+    act.successors = (1,)
+    return True
+
+
+def mutate_generated_right_side(trace, rng):
+    cycle, act = pick_act(trace, rng,
+                          lambda a: a.parent_id is not None
+                          and a.kind != "terminal")
+    if act is None:
+        return False
+    act.side = "right"
+    return True
+
+
+MUTATORS = [mutate_dangling_parent, mutate_orphan_successor,
+            mutate_steal_successor, mutate_bad_side, mutate_bad_tag,
+            mutate_key_node_mismatch, mutate_terminal_with_successors,
+            mutate_generated_right_side]
+
+
+@pytest.mark.parametrize("mutator", MUTATORS,
+                         ids=lambda m: m.__name__)
+def test_each_mutator_detected(mutator):
+    rng = random.Random(7)
+    trace = small_trace(seed=1)
+    assert validate_trace(trace) == []
+    applied = mutator(trace, rng)
+    assert applied, "mutator found nothing to corrupt"
+    problems = validate_trace(trace, raise_on_error=False)
+    assert problems, f"{mutator.__name__} slipped past the validator"
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=50),
+       mutator_index=st.integers(min_value=0,
+                                 max_value=len(MUTATORS) - 1),
+       rng_seed=st.integers(min_value=0, max_value=1000))
+def test_random_mutations_detected(seed, mutator_index, rng_seed):
+    rng = random.Random(rng_seed)
+    trace = small_trace(seed=seed)
+    mutator = MUTATORS[mutator_index]
+    if not mutator(trace, rng):
+        return  # nothing to corrupt in this layout
+    assert validate_trace(trace, raise_on_error=False)
+
+
+def test_unmutated_traces_stay_valid():
+    for seed in range(5):
+        assert validate_trace(small_trace(seed)) == []

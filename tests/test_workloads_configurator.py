@@ -1,0 +1,109 @@
+"""Tests for the XCON-style configurator workload."""
+
+import pytest
+
+from repro.mpc import simulate, simulate_base, simulate_shared_bus, speedup
+from repro.ops5 import run_program
+from repro.rete import ReteNetwork
+from repro.trace import validate_trace
+from repro.workloads.configurator import (configurator_program,
+                                          configurator_source,
+                                          configurator_trace)
+
+
+def run_both(n_boards, n_disks, max_cycles=1000):
+    naive = run_program(configurator_program(n_boards, n_disks),
+                        max_cycles=max_cycles)
+    rete = run_program(configurator_program(n_boards, n_disks),
+                       matcher=ReteNetwork(), max_cycles=max_cycles)
+    return naive, rete
+
+
+class TestExecution:
+    def test_completes_and_matchers_agree(self):
+        naive, rete = run_both(6, 5)
+        assert rete.halted
+        assert [f.production_name for f in naive.firings] == \
+            [f.production_name for f in rete.firings]
+        assert "configuration complete" in rete.output
+
+    def test_every_rule_class_fires(self):
+        _, rete = run_both(6, 5)
+        fired = {f.production_name for f in rete.firings}
+        assert fired == {
+            "start-configuration", "place-board",
+            "add-expansion-cabinet", "power-deficit", "assign-disk",
+            "add-controller", "configuration-complete"}
+
+    def test_empty_order_completes_immediately(self):
+        _, rete = run_both(0, 0)
+        assert rete.halted
+        assert rete.cycles == 2  # start + complete
+
+    def test_all_boards_placed_all_disks_assigned(self):
+        program = configurator_program(7, 4)
+        from repro.ops5 import Interpreter
+        interp = Interpreter(matcher=ReteNetwork())
+        interp.load_program(program)
+        interp.run(max_cycles=1000)
+        boards = [w for w in interp.wm if w.cls == "board"]
+        disks = [w for w in interp.wm if w.cls == "disk"]
+        assert all(b.get("placed") == "yes" for b in boards)
+        assert all(d.get("assigned") == "yes" for d in disks)
+
+    def test_slot_capacity_respected(self):
+        """No cabinet ends with negative slots."""
+        from repro.ops5 import Interpreter
+        interp = Interpreter(matcher=ReteNetwork())
+        interp.load_program(configurator_program(10, 0))
+        interp.run(max_cycles=1000)
+        for cab in (w for w in interp.wm if w.cls == "cabinet"):
+            assert cab.get("slots") >= 0
+
+    def test_power_budget_repaired(self):
+        """Power deficits trigger PSUs; final budgets are non-negative."""
+        from repro.ops5 import Interpreter
+        interp = Interpreter(matcher=ReteNetwork())
+        interp.load_program(configurator_program(6, 0))
+        result = interp.run(max_cycles=1000)
+        assert "added psu" in result.output
+        for cab in (w for w in interp.wm if w.cls == "cabinet"):
+            assert cab.get("power") >= 0
+
+    def test_controller_capacity_two_disks_each(self):
+        from repro.ops5 import Interpreter
+        interp = Interpreter(matcher=ReteNetwork())
+        interp.load_program(configurator_program(0, 7))
+        interp.run(max_cycles=1000)
+        controllers = [w for w in interp.wm if w.cls == "controller"]
+        assert len(controllers) == 4  # ceil(7 / 2)
+
+    def test_scales_to_larger_orders(self):
+        _, rete = run_both(15, 12)
+        assert rete.halted
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            configurator_source(-1, 0)
+
+
+class TestTraceAndSimulation:
+    def test_trace_valid(self):
+        trace = configurator_trace(8, 6)
+        assert validate_trace(trace) == []
+        assert trace.total_activations() > 100
+
+    def test_trace_simulates_on_all_architectures(self):
+        trace = configurator_trace(8, 6)
+        base = simulate_base(trace)
+        mpc = simulate(trace, n_procs=8)
+        bus = simulate_shared_bus(trace, n_procs=8)
+        assert 0 < speedup(base, mpc) <= 8
+        assert 0 < speedup(base, bus) <= 8
+
+    def test_serial_planner_has_modest_parallelism(self):
+        """Configuration is a chain of small cycles — the Weaver effect
+        on a live program."""
+        trace = configurator_trace(8, 6)
+        base = simulate_base(trace)
+        assert speedup(base, simulate(trace, n_procs=32)) < 8
