@@ -11,22 +11,25 @@ import pytest
 
 from conftest import once
 from repro.analysis import format_table
-from repro.mpc import (RandomMapping, bucket_work, greedy_mapping,
-                       simulate, simulate_base, speedup)
+from repro.mpc import (BucketWorkCache, GreedyMappingFactory,
+                       RandomMapping, simulate, simulate_base, speedup)
 
 PROCS = [16, 32]
 
 
 def run_strategies(trace, base):
     rows = []
+    # One shared cache: each cycle's bucket activity is priced once,
+    # not once per processor count.
+    work_cache = BucketWorkCache()
     for n_procs in PROCS:
         rr = simulate(trace, n_procs=n_procs)
         rnd = simulate(trace, n_procs=n_procs,
                        mapping=RandomMapping(n_procs=n_procs, seed=1))
         greedy = simulate(
             trace, n_procs=n_procs,
-            mapping_factory=lambda cycle, p=n_procs:
-                greedy_mapping(bucket_work(cycle), p))
+            mapping_factory=GreedyMappingFactory(n_procs,
+                                                 work_cache=work_cache))
         rows.append((n_procs, speedup(base, rr), speedup(base, rnd),
                      speedup(base, greedy), rr.total_us / greedy.total_us))
     return rows

@@ -1,0 +1,195 @@
+"""Harness performance tracking: trace cache, parallel sweeps, hot path.
+
+Unlike its siblings, this benchmark measures the *harness itself* rather
+than a figure of the paper: how long it takes to obtain the three
+canonical sections (cold build vs warm cache) and to regenerate the
+Figure 5-1 sweep (pre-PR serial reference path vs the optimized
+simulator on a warm cache).  The pre-PR baseline is executed live from
+:mod:`repro.mpc._reference` — the preserved original event loop — so
+both sides of every ratio run on the same machine, in the same process.
+
+Results are written machine-readably to ``BENCH_harness.json`` at the
+repo root so the performance trajectory is tracked across PRs.  Run::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_harness_perf.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import time
+
+import repro.trace.cache as trace_cache
+from conftest import once
+from repro.mpc import DEFAULT_PROC_COUNTS, speedup, speedup_curve
+from repro.mpc._reference import simulate_reference
+from repro.mpc.simulator import simulate
+from repro.trace import clear_cache, set_cache_enabled
+from repro.workloads import rubik_section, tourney_section, weaver_section
+from repro.workloads.programs import (blocks_world_trace, monkey_trace,
+                                      router_trace)
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = ROOT / "BENCH_harness.json"
+
+SECTION_BUILDERS = (rubik_section, tourney_section, weaver_section)
+PROGRAM_BUILDERS = (blocks_world_trace, monkey_trace, router_trace)
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    """Minimum wall time of *fn* over *repeats* runs (noise floor)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _build_sections():
+    return [build() for build in SECTION_BUILDERS]
+
+
+def _fig5_1_pre_pr():
+    """The pre-PR Figure 5-1 path: cold builds + reference event loop."""
+    all_speedups = []
+    for build in SECTION_BUILDERS:
+        trace = build()
+        base = simulate_reference(trace, 1)
+        all_speedups.append(
+            [speedup(base, simulate_reference(trace, n))
+             for n in DEFAULT_PROC_COUNTS])
+    return all_speedups
+
+
+def _fig5_1_current(workers):
+    """Today's Figure 5-1 path: cached sections + optimized sweep."""
+    return [speedup_curve(build(), DEFAULT_PROC_COUNTS,
+                          workers=workers).speedups
+            for build in SECTION_BUILDERS]
+
+
+def test_harness_perf(benchmark, report, workers):
+    results = {
+        "schema": 1,
+        "generated_unix": int(time.time()),
+        "machine": {"cpus": os.cpu_count(),
+                    "platform": platform.platform(),
+                    "python": platform.python_version()},
+        "workers": workers,
+    }
+
+    # --- trace load: cold build vs warm cache ---------------------------
+    set_cache_enabled(False)
+    try:
+        cold_s = _best_of(_build_sections)
+    finally:
+        set_cache_enabled(None)
+    clear_cache()
+    _build_sections()  # populate disk + memory layers
+
+    def _warm_disk():
+        trace_cache._memory.clear()
+        _build_sections()
+
+    warm_disk_s = _best_of(_warm_disk)
+    warm_memory_s = _best_of(_build_sections)
+    results["trace_load"] = {
+        "what": "build rubik+tourney+weaver sections",
+        "cold_build_s": round(cold_s, 4),
+        "warm_disk_s": round(warm_disk_s, 4),
+        "warm_memory_s": round(warm_memory_s, 6),
+        "cold_over_warm_disk": round(cold_s / warm_disk_s, 2),
+    }
+
+    # Same comparison for the recorded OPS5 program traces, where the
+    # cold path runs the full Rete engine rather than a synthesizer.
+    def _record_programs():
+        return [build() for build in PROGRAM_BUILDERS]
+
+    set_cache_enabled(False)
+    try:
+        prog_cold_s = _best_of(_record_programs)
+    finally:
+        set_cache_enabled(None)
+    _record_programs()  # populate
+
+    def _programs_warm_disk():
+        trace_cache._memory.clear()
+        _record_programs()
+
+    prog_warm_s = _best_of(_programs_warm_disk)
+    results["program_trace_load"] = {
+        "what": "record blocks-world+monkey+router OPS5 programs",
+        "cold_record_s": round(prog_cold_s, 4),
+        "warm_disk_s": round(prog_warm_s, 4),
+        "cold_over_warm_disk": round(prog_cold_s / prog_warm_s, 2),
+    }
+
+    # --- simulator hot path: reference vs optimized ---------------------
+    rubik = rubik_section()
+    ref_s = _best_of(lambda: simulate_reference(rubik, 16), repeats=5)
+    opt_s = _best_of(lambda: simulate(rubik, 16), repeats=5)
+    sim_speedup = ref_s / opt_s
+    results["simulator_rubik_16procs"] = {
+        "reference_s": round(ref_s, 4),
+        "optimized_s": round(opt_s, 4),
+        "speedup": round(sim_speedup, 2),
+    }
+
+    # --- sweeps: serial vs parallel grid --------------------------------
+    serial_s = _best_of(lambda: _fig5_1_current(workers=1))
+    fanout = max(2, workers)
+    parallel_s = _best_of(lambda: _fig5_1_current(workers=fanout))
+    results["sweep_fig5_1"] = {
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "parallel_workers": fanout,
+        "parallel_over_serial": round(serial_s / parallel_s, 2),
+    }
+
+    # --- the acceptance number: warm full regeneration vs pre-PR --------
+    pre_pr_speedups = None
+    current_speedups = None
+
+    def _pre_pr():
+        nonlocal pre_pr_speedups
+        set_cache_enabled(False)
+        try:
+            pre_pr_speedups = _fig5_1_pre_pr()
+        finally:
+            set_cache_enabled(None)
+
+    pre_pr_s = _best_of(_pre_pr)
+
+    def _current():
+        nonlocal current_speedups
+        current_speedups = _fig5_1_current(workers=workers)
+
+    warm_s = once(benchmark, lambda: _best_of(_current))
+    results["fig5_1_regeneration"] = {
+        "what": "figure 5-1 sweep, all three sections",
+        "pre_pr_cold_serial_s": round(pre_pr_s, 4),
+        "warm_cache_current_s": round(warm_s, 4),
+        "speedup_vs_pre_pr": round(pre_pr_s / warm_s, 2),
+    }
+
+    # The optimization must not move a single number of the figure.
+    assert current_speedups == pre_pr_speedups, \
+        "optimized path changed Figure 5-1 speedups"
+
+    BENCH_JSON.write_text(json.dumps(results, indent=2) + "\n",
+                          encoding="utf-8")
+    report("harness_perf", json.dumps(results, indent=2)
+           + f"\n[also saved to {BENCH_JSON}]")
+
+    # The PR's acceptance bars (generous margins below the measured
+    # values, so background load does not flake the suite).
+    assert sim_speedup >= 1.5, \
+        f"simulator hot path only {sim_speedup:.2f}x over reference"
+    assert pre_pr_s / warm_s >= 2.0, (
+        f"warm-cache figure regeneration only {pre_pr_s / warm_s:.2f}x "
+        f"over the pre-PR serial cold path")

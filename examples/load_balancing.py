@@ -10,8 +10,8 @@ Run:  python examples/load_balancing.py
 """
 
 from repro.analysis import (BucketModel, format_table, imbalance_factor)
-from repro.mpc import (RandomMapping, bucket_work, greedy_mapping,
-                       simulate, simulate_base, speedup)
+from repro.mpc import (BucketWorkCache, GreedyMappingFactory,
+                       RandomMapping, simulate, simulate_base, speedup)
 from repro.workloads import rubik_section, tourney_section
 
 PROCS = [8, 16, 32]
@@ -20,14 +20,17 @@ PROCS = [8, 16, 32]
 def compare_strategies(trace) -> None:
     base = simulate_base(trace)
     rows = []
+    # Shared across processor counts: bucket activity per cycle is the
+    # same whatever the machine size, so price it once.
+    work_cache = BucketWorkCache()
     for n_procs in PROCS:
         rr = simulate(trace, n_procs=n_procs)
         rnd = simulate(trace, n_procs=n_procs,
                        mapping=RandomMapping(n_procs=n_procs, seed=1))
         greedy = simulate(
             trace, n_procs=n_procs,
-            mapping_factory=lambda cycle, p=n_procs:
-                greedy_mapping(bucket_work(cycle), p))
+            mapping_factory=GreedyMappingFactory(n_procs,
+                                                 work_cache=work_cache))
         rows.append([n_procs, speedup(base, rr), speedup(base, rnd),
                      speedup(base, greedy),
                      f"{rr.total_us / greedy.total_us:.2f}x"])

@@ -31,8 +31,9 @@ import sys
 from typing import List, Optional
 
 from .analysis import format_table
-from .mpc import TABLE_5_1, simulate, simulate_base, speedup
-from .trace import read_trace, save_trace, validate_trace
+from .mpc import (TABLE_5_1, GridPoint, run_grid, set_default_workers,
+                  simulate_base, speedup)
+from .trace import read_trace, save_trace, set_cache_enabled, validate_trace
 from .workloads import rubik_section, tourney_section, weaver_section
 
 SECTIONS = {
@@ -42,6 +43,15 @@ SECTIONS = {
 }
 
 OVERHEADS = {int(m.total_us): m for m in TABLE_5_1}
+
+
+def _apply_perf_flags(args) -> None:
+    """Honor the shared --workers / --no-trace-cache options."""
+    if getattr(args, "no_trace_cache", False):
+        set_cache_enabled(False)
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        set_default_workers(workers)
 
 
 def _load_trace(args):
@@ -73,9 +83,12 @@ def cmd_simulate(args) -> int:
               f"{sorted(OVERHEADS)}", file=sys.stderr)
         return 2
     base = simulate_base(trace)
+    # One grid point per processor count, fanned out over --workers.
+    points = [GridPoint(n_procs=n, overheads=overheads)
+              for n in args.procs]
+    runs = run_grid(trace, points, workers=getattr(args, "workers", None))
     rows = []
-    for n_procs in args.procs:
-        run = simulate(trace, n_procs=n_procs, overheads=overheads)
+    for n_procs, run in zip(args.procs, runs):
         rows.append([n_procs, f"{run.total_us / 1000:.2f}",
                      f"{speedup(base, run):.2f}x", run.n_messages,
                      f"{run.network_idle_fraction():.1%}"])
@@ -188,11 +201,32 @@ def build_parser() -> argparse.ArgumentParser:
                     "(Tambe/Acharya/Gupta 1989) — reproduction toolkit")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("sections", help="Table 5-2 statistics")
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return value
+
+    # Shared performance knobs (see README "Performance").
+    perf = argparse.ArgumentParser(add_help=False)
+    perf.add_argument(
+        "--workers", type=positive_int, default=None, metavar="N",
+        help="worker processes for simulation sweeps (default: all "
+             "cores, or $REPRO_SWEEP_WORKERS; 1 = fully serial). "
+             "Results are identical for any value.")
+    perf.add_argument(
+        "--no-trace-cache", action="store_true",
+        help="rebuild section traces from scratch instead of loading "
+             "them from the on-disk trace cache (equivalent to "
+             "REPRO_TRACE_CACHE=0)")
+
+    p = sub.add_parser("sections", help="Table 5-2 statistics",
+                       parents=[perf])
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_sections)
 
-    p = sub.add_parser("simulate", help="simulate a section on an MPC")
+    p = sub.add_parser("simulate", help="simulate a section on an MPC",
+                       parents=[perf])
     group = p.add_mutually_exclusive_group()
     group.add_argument("--section", choices=sorted(SECTIONS),
                        default="rubik")
@@ -207,7 +241,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("diagnose",
                        help="detect speedup limiters in a trace "
-                            "(Section 5.2 methodology)")
+                            "(Section 5.2 methodology)",
+                       parents=[perf])
     group = p.add_mutually_exclusive_group()
     group.add_argument("--section", choices=sorted(SECTIONS),
                        default="tourney")
@@ -215,7 +250,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_diagnose)
 
-    p = sub.add_parser("trace", help="write a section trace to a file")
+    p = sub.add_parser("trace", help="write a section trace to a file",
+                       parents=[perf])
     p.add_argument("--section", choices=sorted(SECTIONS),
                    default="rubik")
     p.add_argument("--out", required=True)
@@ -224,7 +260,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("autotune",
                        help="apply the Section 5.2 remedies "
-                            "automatically")
+                            "automatically",
+                       parents=[perf])
     group = p.add_mutually_exclusive_group()
     group.add_argument("--section", choices=sorted(SECTIONS),
                        default="tourney")
@@ -251,7 +288,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True)
     p.set_defaults(fn=cmd_generate)
 
-    p = sub.add_parser("figures", help="regenerate paper figures")
+    p = sub.add_parser("figures", help="regenerate paper figures",
+                       parents=[perf])
     p.add_argument("names", nargs="*",
                    help="figure ids (default: all)")
     p.set_defaults(fn=cmd_figures)
@@ -267,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _apply_perf_flags(args)
     return args.fn(args)
 
 

@@ -21,9 +21,12 @@ from .mapping import (DEFAULT_N_BUCKETS, BucketMapping, ExplicitMapping,
                       greedy_mapping)
 from .metrics import CycleResult, SimResult, speedup, speedup_series
 from .pairs import simulate_pairs
+from .parallel import (GridPoint, parallel_overhead_sweep,
+                       parallel_speedup_curve, resolve_workers, run_grid,
+                       set_default_workers)
 from .sharedbus import DEFAULT_QUEUE_ACCESS_US, simulate_shared_bus
-from .simulator import (bucket_work, compute_search_costs, simulate,
-                        simulate_base)
+from .simulator import (BucketWorkCache, GreedyMappingFactory, bucket_work,
+                        compute_search_costs, simulate, simulate_base)
 from .termination import (TerminationScheme, apply_termination,
                           detection_delay, termination_overhead_fraction)
 from .sweep import (DEFAULT_PROC_COUNTS, SpeedupCurve, format_curves,
@@ -36,9 +39,12 @@ __all__ = [
     "RandomMapping", "RoundRobinMapping", "greedy_assignment",
     "greedy_mapping",
     "CycleResult", "SimResult", "speedup", "speedup_series",
+    "BucketWorkCache", "GreedyMappingFactory",
     "bucket_work", "compute_search_costs", "simulate", "simulate_base",
     "DEFAULT_PROC_COUNTS", "SpeedupCurve", "format_curves",
     "overhead_sweep", "speedup_curve", "speedup_loss",
+    "GridPoint", "parallel_overhead_sweep", "parallel_speedup_curve",
+    "resolve_workers", "run_grid", "set_default_workers",
     "simulate_master_copy", "simulate_replicated", "simulate_pairs",
     "DEFAULT_QUEUE_ACCESS_US", "simulate_shared_bus",
     "simulate_dedicated_alpha",

@@ -1,0 +1,167 @@
+"""Reference (pre-optimization) implementation of the cycle simulation.
+
+This is the straightforward object-based event loop the optimized
+:mod:`repro.mpc.simulator` replaced.  It is kept, verbatim in logic, for
+two jobs:
+
+* **Executable specification** — ``tests/test_mpc_parallel.py`` asserts
+  that the optimized simulator produces bit-identical
+  :class:`~repro.mpc.metrics.CycleResult`\\ s on every canonical section.
+* **Honest baseline** — ``benchmarks/bench_harness_perf.py`` measures
+  the optimized hot path against this implementation on the same
+  machine, so the recorded speedup is not a cross-machine guess.
+
+Do not use it in experiment code; it is deliberately slow.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..trace.events import (KIND_TERMINAL, LEFT, CycleTrace, SectionTrace,
+                            TraceActivation)
+from .costmodel import DEFAULT_COSTS, ZERO_OVERHEADS, CostModel, \
+    OverheadModel
+from .mapping import BucketMapping, RoundRobinMapping
+from .metrics import CycleResult, SimResult
+
+
+@dataclass
+class _Task:
+    """A pending activation delivery to a match processor."""
+
+    arrival: float
+    seq: int
+    proc: int
+    act: TraceActivation
+    via_message: bool
+
+    def __lt__(self, other: "_Task") -> bool:
+        return (self.arrival, self.seq) < (other.arrival, other.seq)
+
+
+def simulate_cycle_reference(cycle: CycleTrace, n_procs: int,
+                             costs: CostModel, overheads: OverheadModel,
+                             mapping: BucketMapping,
+                             search_costs: Optional[Dict[int, float]] = None
+                             ) -> CycleResult:
+    """One cycle of the Section 3.2 mapping, unoptimized."""
+    search_costs = search_costs or {}
+    # --- step 1: broadcast -------------------------------------------------
+    control_busy = overheads.send_us
+    match_start = (overheads.send_us + overheads.latency_us
+                   + overheads.recv_us)
+    network_busy = overheads.latency_us if n_procs > 0 else 0.0
+    n_messages = 1  # the broadcast packet
+
+    # --- step 2: constant tests on every processor -------------------------
+    ready = [match_start + costs.constant_tests_us] * n_procs
+    busy = [overheads.recv_us + costs.constant_tests_us] * n_procs
+    activations = [0] * n_procs
+    left_activations = [0] * n_procs
+
+    seq = 0
+    queue: List[_Task] = []
+    control_arrivals: List[float] = []
+    control_ready = control_busy  # control is busy until broadcast sent
+
+    def send_to_control(depart: float) -> None:
+        nonlocal control_busy, control_ready, network_busy, n_messages
+        n_messages += 1
+        network_busy += overheads.latency_us
+        arrive = depart + overheads.latency_us
+        control_ready = max(control_ready, arrive) + overheads.recv_us
+        control_busy += overheads.recv_us
+        control_arrivals.append(control_ready)
+
+    for root in cycle.roots():
+        owner = mapping.processor_for(root.key)
+        if root.kind == KIND_TERMINAL:
+            depart = ready[owner] + overheads.send_us
+            busy[owner] += overheads.send_us
+            ready[owner] = depart
+            send_to_control(depart)
+            continue
+        seq += 1
+        heapq.heappush(queue, _Task(arrival=ready[owner], seq=seq,
+                                    proc=owner, act=root,
+                                    via_message=False))
+
+    # --- steps 3-4: event loop ---------------------------------------------
+    while queue:
+        task = heapq.heappop(queue)
+        p = task.proc
+        act = task.act
+        start = max(ready[p], task.arrival)
+        t = start
+        if task.via_message:
+            t += overheads.recv_us
+        t += costs.store_cost(act.side)
+        t += search_costs.get(act.act_id, 0.0)
+        activations[p] += 1
+        if act.side == LEFT:
+            left_activations[p] += 1
+
+        for succ_id in act.successors:
+            succ = cycle.activations[succ_id]
+            t += costs.successor_us
+            if succ.kind == KIND_TERMINAL:
+                t += overheads.send_us
+                send_to_control(t)
+                continue
+            dest = mapping.processor_for(succ.key)
+            seq += 1
+            if dest == p:
+                heapq.heappush(queue, _Task(arrival=t, seq=seq, proc=p,
+                                            act=succ, via_message=False))
+            else:
+                t += overheads.send_us
+                heapq.heappush(queue, _Task(
+                    arrival=t + overheads.latency_us, seq=seq, proc=dest,
+                    act=succ, via_message=True))
+
+        busy[p] += t - start
+        ready[p] = t
+
+    token_messages = 0
+    for act in cycle:
+        if act.kind == KIND_TERMINAL or act.parent_id is None:
+            continue
+        parent = cycle.activations[act.parent_id]
+        if parent.kind == KIND_TERMINAL:
+            continue
+        if mapping.processor_for(parent.key) != \
+                mapping.processor_for(act.key):
+            token_messages += 1
+    n_messages += token_messages
+    network_busy += token_messages * overheads.latency_us
+
+    makespan = max([match_start + costs.constant_tests_us]
+                   + ready + control_arrivals)
+    return CycleResult(index=cycle.index, makespan_us=makespan,
+                       proc_busy_us=busy,
+                       proc_activations=activations,
+                       proc_left_activations=left_activations,
+                       n_messages=n_messages,
+                       network_busy_us=network_busy,
+                       control_busy_us=control_busy)
+
+
+def simulate_reference(trace: SectionTrace, n_procs: int,
+                       costs: CostModel = DEFAULT_COSTS,
+                       overheads: OverheadModel = ZERO_OVERHEADS,
+                       mapping: Optional[BucketMapping] = None) -> SimResult:
+    """Whole-section reference simulation (round-robin mapping only)."""
+    from .simulator import compute_search_costs
+    if mapping is None:
+        mapping = RoundRobinMapping(n_procs)
+    search_costs = compute_search_costs(trace, costs)
+    result = SimResult(trace_name=trace.name, n_procs=n_procs)
+    for cycle in trace:
+        result.cycles.append(
+            simulate_cycle_reference(cycle, n_procs, costs, overheads,
+                                     mapping,
+                                     search_costs.get(cycle.index, {})))
+    return result

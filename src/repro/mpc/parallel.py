@@ -1,0 +1,193 @@
+"""Parallel sweep engine: evaluate sweep grids across worker processes.
+
+The figure experiments evaluate a grid of independent simulation points
+— (trace, processor count, overhead setting, mapping) — and every point
+is pure and deterministic.  This module fans the grid out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` and reassembles the
+results *in submission order*, so a parallel sweep is **bit-identical**
+to the serial one: the same :func:`~repro.mpc.simulator.simulate` runs
+on the same inputs, only on another CPU, and no result depends on
+completion order.
+
+Worker count resolution (the ``workers`` knob everywhere in the
+harness):
+
+* ``workers=N`` (N >= 2) — use a pool of N processes.
+* ``workers=1`` — exact old behavior: everything in-process, no pool.
+* ``workers=None`` — the default: ``REPRO_SWEEP_WORKERS`` from the
+  environment if set, else :func:`set_default_workers`'s value if set,
+  else ``os.cpu_count()``.
+
+Grids whose inputs cannot be pickled (e.g. a closure-based per-cycle
+mapping factory) quietly fall back to the serial path — correctness
+first, parallelism when possible.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..trace.events import SectionTrace
+from .costmodel import (DEFAULT_COSTS, TABLE_5_1, ZERO_OVERHEADS, CostModel,
+                        OverheadModel)
+from .mapping import BucketMapping
+from .metrics import SimResult, speedup
+from .simulator import MappingFactory, simulate
+from .sweep import (DEFAULT_PROC_COUNTS, SpeedupCurve, _serial_overhead_sweep,
+                    _serial_speedup_curve)
+
+#: Environment override for the default worker count.
+ENV_WORKERS = "REPRO_SWEEP_WORKERS"
+
+_default_workers: Optional[int] = None
+
+
+def set_default_workers(workers: Optional[int]) -> None:
+    """Set the process-wide default worker count (``None`` resets)."""
+    global _default_workers
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be >= 1")
+    _default_workers = workers
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Concrete worker count for a ``workers`` argument."""
+    if workers is not None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        return workers
+    env = os.environ.get(ENV_WORKERS)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    if _default_workers is not None:
+        return _default_workers
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One sweep point: a full argument set for one ``simulate`` call."""
+
+    n_procs: int
+    overheads: OverheadModel = ZERO_OVERHEADS
+    mapping: Optional[BucketMapping] = None
+    mapping_factory: Optional[MappingFactory] = None
+
+
+def _eval_point(trace: SectionTrace, costs: CostModel,
+                point: GridPoint) -> SimResult:
+    return simulate(trace, n_procs=point.n_procs, costs=costs,
+                    overheads=point.overheads, mapping=point.mapping,
+                    mapping_factory=point.mapping_factory)
+
+
+def _picklable(payload) -> bool:
+    try:
+        pickle.dumps(payload)
+        return True
+    except Exception:
+        return False
+
+
+def run_grid(trace: SectionTrace, points: Sequence[GridPoint],
+             costs: CostModel = DEFAULT_COSTS,
+             workers: Optional[int] = None) -> List[SimResult]:
+    """Evaluate every *point* of the grid; results in *points* order.
+
+    The serial path (``workers=1``, a single point, or unpicklable
+    inputs) computes in-process; otherwise points are dispatched to a
+    process pool.  Either way the returned list is deterministic and
+    identical between the two paths.
+    """
+    points = list(points)
+    n_workers = min(resolve_workers(workers), len(points))
+    if n_workers <= 1 or not _picklable((trace, costs, points)):
+        return [_eval_point(trace, costs, point) for point in points]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        futures = [pool.submit(_eval_point, trace, costs, point)
+                   for point in points]
+        return [future.result() for future in futures]
+
+
+def parallel_speedup_curve(
+        trace: SectionTrace,
+        proc_counts: Sequence[int] = DEFAULT_PROC_COUNTS,
+        overheads: OverheadModel = ZERO_OVERHEADS,
+        costs: CostModel = DEFAULT_COSTS,
+        mapping_for: Optional[Callable[[int], BucketMapping]] = None,
+        mapping_factory_for: Optional[
+            Callable[[int], MappingFactory]] = None,
+        label: Optional[str] = None,
+        workers: Optional[int] = None) -> SpeedupCurve:
+    """Parallel counterpart of :func:`repro.mpc.sweep.speedup_curve`.
+
+    Numerically identical to the serial version for any worker count:
+    the base run (1 processor, zero overheads) and every sweep point are
+    independent grid points, reassembled in order.
+    """
+    if resolve_workers(workers) <= 1:
+        return _serial_speedup_curve(
+            trace, proc_counts, overheads=overheads, costs=costs,
+            mapping_for=mapping_for,
+            mapping_factory_for=mapping_factory_for, label=label)
+    # Mapping callables run in the parent so only their (picklable
+    # dataclass) products travel; factories must pickle whole.
+    points = [GridPoint(n_procs=1)]
+    for n_procs in proc_counts:
+        mapping = None
+        factory = None
+        if mapping_factory_for is not None:
+            factory = mapping_factory_for(n_procs)
+        elif mapping_for is not None:
+            mapping = mapping_for(n_procs)
+        points.append(GridPoint(n_procs=n_procs, overheads=overheads,
+                                mapping=mapping, mapping_factory=factory))
+    results = run_grid(trace, points, costs=costs, workers=workers)
+    base, rest = results[0], results[1:]
+    return SpeedupCurve(
+        label=label or f"{trace.name}@{overheads.label()}",
+        proc_counts=list(proc_counts),
+        speedups=[speedup(base, result) for result in rest],
+        results=rest)
+
+
+def parallel_overhead_sweep(
+        trace: SectionTrace,
+        proc_counts: Sequence[int] = DEFAULT_PROC_COUNTS,
+        overhead_settings: Sequence[OverheadModel] = TABLE_5_1,
+        costs: CostModel = DEFAULT_COSTS,
+        workers: Optional[int] = None) -> List[SpeedupCurve]:
+    """Parallel counterpart of :func:`repro.mpc.sweep.overhead_sweep`.
+
+    The whole (overhead setting x processor count) grid is one flat
+    fan-out — a sweep over four Table 5-1 rows keeps every worker busy
+    instead of parallelizing one curve at a time.
+    """
+    if resolve_workers(workers) <= 1:
+        return _serial_overhead_sweep(trace, proc_counts,
+                                      overhead_settings, costs)
+    proc_counts = list(proc_counts)
+    points = [GridPoint(n_procs=1)]
+    for overheads in overhead_settings:
+        points.extend(GridPoint(n_procs=n, overheads=overheads)
+                      for n in proc_counts)
+    results = run_grid(trace, points, costs=costs, workers=workers)
+    base = results[0]
+    curves: List[SpeedupCurve] = []
+    offset = 1
+    for overheads in overhead_settings:
+        chunk = results[offset:offset + len(proc_counts)]
+        offset += len(proc_counts)
+        curves.append(SpeedupCurve(
+            label=f"{trace.name}@{overheads.label()}",
+            proc_counts=list(proc_counts),
+            speedups=[speedup(base, result) for result in chunk],
+            results=chunk))
+    return curves

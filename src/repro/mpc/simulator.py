@@ -23,20 +23,29 @@ paper's match procedure:
 
 Everything is deterministic: the event queue breaks ties on a sequence
 counter and processors serve tasks FIFO by arrival time.
+
+The inner event loop is the harness's hottest code — every sweep point
+of every figure goes through it — so it is written for speed: heap
+entries are plain ``(arrival, seq, proc, via_message, activation)``
+tuples (the unique ``seq`` guarantees comparison never reaches the
+activation), each activation's destination processor is resolved exactly
+once per cycle, and per-event attribute/method lookups are hoisted into
+locals.  :mod:`repro.mpc._reference` preserves the original
+object-based loop; ``tests/test_mpc_parallel.py`` asserts both produce
+bit-identical results.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from collections import defaultdict
 from typing import Callable, Dict, List, Optional
 
 from ..rete.hashing import BucketKey
-from ..trace.events import (KIND_TERMINAL, LEFT, CycleTrace, SectionTrace,
-                            TraceActivation)
+from ..trace.events import (KIND_TERMINAL, LEFT, CycleTrace, SectionTrace)
 from .costmodel import DEFAULT_COSTS, ZERO_OVERHEADS, CostModel, \
     OverheadModel
-from .mapping import BucketMapping, RoundRobinMapping
+from .mapping import BucketMapping, RoundRobinMapping, greedy_mapping
 from .metrics import CycleResult, SimResult
 
 #: Signature for per-cycle mapping construction (used by the idealized
@@ -51,14 +60,69 @@ def bucket_work(cycle: CycleTrace,
     This is the "detailed trace of the activity in each bucket" the paper
     feeds its offline greedy algorithm.
     """
-    work: Dict[BucketKey, float] = {}
-    for act in cycle:
+    work: Dict[BucketKey, float] = defaultdict(float)
+    left_us = costs.left_token_us
+    right_us = costs.right_token_us
+    successor_us = costs.successor_us
+    for act in cycle.ordered():
         if act.kind == KIND_TERMINAL:
             continue
-        cost = costs.store_cost(act.side) + \
-            costs.successor_us * act.n_successors
-        work[act.key] = work.get(act.key, 0.0) + cost
-    return work
+        work[act.key] += (left_us if act.side == LEFT else right_us) \
+            + successor_us * len(act.successors)
+    return dict(work)
+
+
+class BucketWorkCache:
+    """Memoized :func:`bucket_work`, shared across sweep points.
+
+    The greedy-distribution experiments rebuild a mapping per (cycle,
+    processor count) pair; the per-bucket activity depends only on the
+    cycle, so one cache serves every processor count of a sweep.  Cycles
+    are identified by object identity (a strong reference is kept, so an
+    id is never recycled while cached).
+    """
+
+    def __init__(self, costs: CostModel = DEFAULT_COSTS) -> None:
+        self.costs = costs
+        self._cache: Dict[int, tuple] = {}
+
+    def __call__(self, cycle: CycleTrace) -> Dict[BucketKey, float]:
+        entry = self._cache.get(id(cycle))
+        if entry is None or entry[0] is not cycle:
+            entry = (cycle, bucket_work(cycle, self.costs))
+            self._cache[id(cycle)] = entry
+        return entry[1]
+
+    def __getstate__(self):
+        # The cache keys are process-local object ids: never ship them
+        # to a worker process (the parallel sweep engine pickles
+        # factories); start empty there instead.
+        return {"costs": self.costs}
+
+    def __setstate__(self, state):
+        self.costs = state["costs"]
+        self._cache = {}
+
+
+class GreedyMappingFactory:
+    """Per-cycle idealized greedy (LPT) distribution, ready to share.
+
+    A picklable :data:`MappingFactory`: pass
+    ``mapping_factory=GreedyMappingFactory(n_procs)`` to
+    :func:`simulate`, or build one per processor count around a shared
+    :class:`BucketWorkCache` so a whole sweep prices each cycle's bucket
+    activity once.
+    """
+
+    def __init__(self, n_procs: int,
+                 costs: CostModel = DEFAULT_COSTS,
+                 work_cache: Optional[BucketWorkCache] = None) -> None:
+        self.n_procs = n_procs
+        self.work_cache = work_cache if work_cache is not None \
+            else BucketWorkCache(costs)
+
+    def __call__(self, cycle: CycleTrace) -> BucketMapping:
+        return greedy_mapping(self.work_cache(cycle), self.n_procs)
 
 
 def compute_search_costs(trace: SectionTrace,
@@ -144,41 +208,51 @@ def simulate(trace: SectionTrace,
     return result
 
 
-@dataclass
-class _Task:
-    """A pending activation delivery to a match processor."""
-
-    arrival: float
-    seq: int
-    proc: int
-    act: TraceActivation
-    via_message: bool
-
-    def __lt__(self, other: "_Task") -> bool:
-        return (self.arrival, self.seq) < (other.arrival, other.seq)
-
-
 def _simulate_cycle(cycle: CycleTrace, n_procs: int, costs: CostModel,
                     overheads: OverheadModel,
                     mapping: BucketMapping,
                     search_costs: Optional[Dict[int, float]] = None
                     ) -> CycleResult:
-    search_costs = search_costs or {}
+    send_us = overheads.send_us
+    recv_us = overheads.recv_us
+    latency_us = overheads.latency_us
+    left_us = costs.left_token_us
+    right_us = costs.right_token_us
+    successor_us = costs.successor_us
+    acts = cycle.activations
+    get_extra = (search_costs or {}).get
+
+    # Resolve every activation's destination processor once.  Both the
+    # event loop and the message tally need it, and distinct bucket keys
+    # are far fewer than activations, so the hash work is shared here.
+    processor_for = mapping.processor_for
+    key_proc: Dict[BucketKey, int] = {}
+    dest_of: Dict[int, int] = {}
+    for act in cycle.ordered():
+        key = act.key
+        proc = key_proc.get(key)
+        if proc is None:
+            proc = key_proc[key] = processor_for(key)
+        dest_of[act.act_id] = proc
+
     # --- step 1: broadcast -------------------------------------------------
-    control_busy = overheads.send_us
-    match_start = (overheads.send_us + overheads.latency_us
-                   + overheads.recv_us)
-    network_busy = overheads.latency_us if n_procs > 0 else 0.0
+    control_busy = send_us
+    match_start = send_us + latency_us + recv_us
+    network_busy = latency_us if n_procs > 0 else 0.0
     n_messages = 1  # the broadcast packet
 
     # --- step 2: constant tests on every processor -------------------------
     ready = [match_start + costs.constant_tests_us] * n_procs
-    busy = [overheads.recv_us + costs.constant_tests_us] * n_procs
+    busy = [recv_us + costs.constant_tests_us] * n_procs
     activations = [0] * n_procs
     left_activations = [0] * n_procs
 
     seq = 0
-    queue: List[_Task] = []
+    #: heap of (arrival, seq, proc, via_message, activation); seq is
+    #: unique, so tuple comparison never reaches the activation.
+    queue: list = []
+    heappush = heapq.heappush
+    heappop = heapq.heappop
     #: completion times of instantiation deliveries at the control proc
     control_arrivals: List[float] = []
     control_ready = control_busy  # control is busy until broadcast sent
@@ -186,60 +260,56 @@ def _simulate_cycle(cycle: CycleTrace, n_procs: int, costs: CostModel,
     def send_to_control(depart: float) -> None:
         nonlocal control_busy, control_ready, network_busy, n_messages
         n_messages += 1
-        network_busy += overheads.latency_us
-        arrive = depart + overheads.latency_us
+        network_busy += latency_us
+        arrive = depart + latency_us
         # Control handles instantiation receipts FIFO as they arrive.
-        control_ready = max(control_ready, arrive) + overheads.recv_us
-        control_busy += overheads.recv_us
+        control_ready = max(control_ready, arrive) + recv_us
+        control_busy += recv_us
         control_arrivals.append(control_ready)
 
     for root in cycle.roots():
-        owner = mapping.processor_for(root.key)
+        owner = dest_of[root.act_id]
         if root.kind == KIND_TERMINAL:
             # A single-CE instantiation: produced by the constant tests;
             # the bucket owner ships it to the control processor.
-            depart = ready[owner] + overheads.send_us
-            busy[owner] += overheads.send_us
+            depart = ready[owner] + send_us
+            busy[owner] += send_us
             ready[owner] = depart
             send_to_control(depart)
             continue
         seq += 1
-        heapq.heappush(queue, _Task(arrival=ready[owner], seq=seq,
-                                    proc=owner, act=root,
-                                    via_message=False))
+        heappush(queue, (ready[owner], seq, owner, False, root))
 
-    # --- steps 3-4: event loop ------------------------------------------------
+    # --- steps 3-4: event loop ---------------------------------------------
     while queue:
-        task = heapq.heappop(queue)
-        p = task.proc
-        act = task.act
-        start = max(ready[p], task.arrival)
+        arrival, _, p, via_message, act = heappop(queue)
+        proc_ready = ready[p]
+        start = proc_ready if proc_ready > arrival else arrival
         t = start
-        if task.via_message:
-            t += overheads.recv_us
-        t += costs.store_cost(act.side)
-        t += search_costs.get(act.act_id, 0.0)
+        if via_message:
+            t += recv_us
+        t += left_us if act.side == LEFT else right_us
+        extra = get_extra(act.act_id)
+        if extra is not None:
+            t += extra
         activations[p] += 1
         if act.side == LEFT:
             left_activations[p] += 1
 
         for succ_id in act.successors:
-            succ = cycle.activations[succ_id]
-            t += costs.successor_us
+            succ = acts[succ_id]
+            t += successor_us
             if succ.kind == KIND_TERMINAL:
-                t += overheads.send_us
+                t += send_us
                 send_to_control(t)
                 continue
-            dest = mapping.processor_for(succ.key)
+            dest = dest_of[succ_id]
             seq += 1
             if dest == p:
-                heapq.heappush(queue, _Task(arrival=t, seq=seq, proc=p,
-                                            act=succ, via_message=False))
+                heappush(queue, (t, seq, p, False, succ))
             else:
-                t += overheads.send_us
-                heapq.heappush(queue, _Task(
-                    arrival=t + overheads.latency_us, seq=seq, proc=dest,
-                    act=succ, via_message=True))
+                t += send_us
+                heappush(queue, (t + latency_us, seq, dest, True, succ))
 
         busy[p] += t - start
         ready[p] = t
@@ -247,17 +317,16 @@ def _simulate_cycle(cycle: CycleTrace, n_procs: int, costs: CostModel,
     # Tally inter-processor token messages by walking the causal links
     # against the mapping (equivalent to counting via_message pushes).
     token_messages = 0
-    for act in cycle:
-        if act.kind == KIND_TERMINAL or act.parent_id is None:
+    for act in cycle.ordered():
+        parent_id = act.parent_id
+        if act.kind == KIND_TERMINAL or parent_id is None:
             continue
-        parent = cycle.activations[act.parent_id]
-        if parent.kind == KIND_TERMINAL:
+        if acts[parent_id].kind == KIND_TERMINAL:
             continue
-        if mapping.processor_for(parent.key) != \
-                mapping.processor_for(act.key):
+        if dest_of[parent_id] != dest_of[act.act_id]:
             token_messages += 1
     n_messages += token_messages
-    network_busy += token_messages * overheads.latency_us
+    network_busy += token_messages * latency_us
 
     makespan = max([match_start + costs.constant_tests_us]
                    + ready + control_arrivals)

@@ -3,6 +3,13 @@
 Every speedup is computed the paper's way — against the run with a
 single match processor and zero communication overheads on the *same*
 trace (Section 5.1).
+
+Both sweep entry points take a ``workers`` knob: ``1`` runs the exact
+serial path in-process, ``N`` fans the grid out over N worker processes
+via :mod:`repro.mpc.parallel`, and ``None`` (the default) resolves to
+``os.cpu_count()`` (overridable by ``REPRO_SWEEP_WORKERS`` or
+:func:`repro.mpc.parallel.set_default_workers`).  The parallel path is
+deterministic and numerically identical to the serial one.
 """
 
 from __future__ import annotations
@@ -54,13 +61,41 @@ def speedup_curve(trace: SectionTrace,
                   = None,
                   mapping_factory_for: Optional[
                       Callable[[int], MappingFactory]] = None,
-                  label: Optional[str] = None) -> SpeedupCurve:
+                  label: Optional[str] = None,
+                  workers: Optional[int] = None) -> SpeedupCurve:
     """Speedups of *trace* across processor counts at one overhead setting.
 
     *mapping_for* builds the bucket distribution for each processor
     count (default: round robin); *mapping_factory_for* instead builds a
     per-cycle mapping factory (for the idealized greedy distribution).
+    *workers* fans the processor counts out over worker processes
+    (``1`` = serial, ``None`` = all cores); results are identical either
+    way.
     """
+    if workers != 1:
+        from .parallel import parallel_speedup_curve, resolve_workers
+        if resolve_workers(workers) > 1:
+            return parallel_speedup_curve(
+                trace, proc_counts, overheads=overheads, costs=costs,
+                mapping_for=mapping_for,
+                mapping_factory_for=mapping_factory_for, label=label,
+                workers=workers)
+    return _serial_speedup_curve(trace, proc_counts, overheads=overheads,
+                                 costs=costs, mapping_for=mapping_for,
+                                 mapping_factory_for=mapping_factory_for,
+                                 label=label)
+
+
+def _serial_speedup_curve(trace: SectionTrace,
+                          proc_counts: Sequence[int] = DEFAULT_PROC_COUNTS,
+                          overheads: OverheadModel = ZERO_OVERHEADS,
+                          costs: CostModel = DEFAULT_COSTS,
+                          mapping_for: Optional[
+                              Callable[[int], BucketMapping]] = None,
+                          mapping_factory_for: Optional[
+                              Callable[[int], MappingFactory]] = None,
+                          label: Optional[str] = None) -> SpeedupCurve:
+    """The in-process sweep (the ``workers=1`` path)."""
     base = simulate_base(trace, costs=costs)
     speedups: List[float] = []
     results: List[SimResult] = []
@@ -82,11 +117,33 @@ def speedup_curve(trace: SectionTrace,
 def overhead_sweep(trace: SectionTrace,
                    proc_counts: Sequence[int] = DEFAULT_PROC_COUNTS,
                    overhead_settings: Sequence[OverheadModel] = TABLE_5_1,
-                   costs: CostModel = DEFAULT_COSTS) -> List[SpeedupCurve]:
-    """The Figure 5-2 experiment: one curve per Table 5-1 setting."""
-    return [speedup_curve(trace, proc_counts, overheads=overheads,
-                          costs=costs,
-                          label=f"{trace.name}@{overheads.label()}")
+                   costs: CostModel = DEFAULT_COSTS,
+                   workers: Optional[int] = None) -> List[SpeedupCurve]:
+    """The Figure 5-2 experiment: one curve per Table 5-1 setting.
+
+    With ``workers`` > 1 the whole (setting x processors) grid is one
+    parallel fan-out; the curves are identical to the serial result.
+    """
+    if workers != 1:
+        from .parallel import parallel_overhead_sweep, resolve_workers
+        if resolve_workers(workers) > 1:
+            return parallel_overhead_sweep(trace, proc_counts,
+                                           overhead_settings, costs,
+                                           workers=workers)
+    return _serial_overhead_sweep(trace, proc_counts, overhead_settings,
+                                  costs)
+
+
+def _serial_overhead_sweep(trace: SectionTrace,
+                           proc_counts: Sequence[int] = DEFAULT_PROC_COUNTS,
+                           overhead_settings: Sequence[OverheadModel]
+                           = TABLE_5_1,
+                           costs: CostModel = DEFAULT_COSTS
+                           ) -> List[SpeedupCurve]:
+    """The in-process Figure 5-2 sweep (the ``workers=1`` path)."""
+    return [_serial_speedup_curve(trace, proc_counts, overheads=overheads,
+                                  costs=costs,
+                                  label=f"{trace.name}@{overheads.label()}")
             for overheads in overhead_settings]
 
 

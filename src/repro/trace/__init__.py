@@ -4,16 +4,21 @@
   sections).
 * :mod:`~repro.trace.recorder` — record traces from live Rete runs.
 * :mod:`~repro.trace.format` — the Figure 4-1-style text format.
+* :mod:`~repro.trace.cache` — content-addressed on-disk trace cache.
 * :mod:`~repro.trace.validate` — structural validation.
 * :mod:`~repro.trace.transform` — trace-level unsharing, dummy nodes and
   copy-and-constraint (paper Section 5.2).
 """
 
+from .cache import (cache_dir, cache_enabled, cached_trace, clear_cache,
+                    invalidate, module_source, set_cache_enabled,
+                    source_fingerprint, trace_key)
 from .events import (KIND_JOIN, KIND_NEGATIVE, KIND_TERMINAL, LEFT, RIGHT,
                      ActivationStats, CycleTrace, SectionTrace,
                      TraceActivation)
-from .format import (TraceFormatError, dump_trace, dumps_trace, load_trace,
-                     loads_trace, read_trace, save_trace)
+from .format import (TRACE_FORMAT_VERSION, TraceFormatError, dump_trace,
+                     dumps_trace, load_trace, loads_trace, read_trace,
+                     save_trace)
 from .recorder import TraceRecorder, record_program
 from .transform import (copy_and_constraint_trace, insert_dummy_nodes,
                         unshare_trace)
@@ -22,8 +27,11 @@ from .validate import TraceValidationError, validate_cycle, validate_trace
 __all__ = [
     "KIND_JOIN", "KIND_NEGATIVE", "KIND_TERMINAL", "LEFT", "RIGHT",
     "ActivationStats", "CycleTrace", "SectionTrace", "TraceActivation",
-    "TraceFormatError", "dump_trace", "dumps_trace", "load_trace",
-    "loads_trace", "read_trace", "save_trace",
+    "TRACE_FORMAT_VERSION", "TraceFormatError", "dump_trace",
+    "dumps_trace", "load_trace", "loads_trace", "read_trace", "save_trace",
+    "cache_dir", "cache_enabled", "cached_trace", "clear_cache",
+    "invalidate", "module_source", "set_cache_enabled",
+    "source_fingerprint", "trace_key",
     "TraceRecorder", "record_program",
     "copy_and_constraint_trace", "insert_dummy_nodes", "unshare_trace",
     "TraceValidationError", "validate_cycle", "validate_trace",

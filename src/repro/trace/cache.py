@@ -1,0 +1,205 @@
+"""Content-addressed on-disk cache for section traces.
+
+Recording a section — running the OPS5 interpreter and Rete match, or
+rebuilding a calibrated synthetic section — is pure: the same program
+source and parameters always yield the same trace.  This module
+memoizes that work.  A trace is stored once under a key derived from
+
+* the trace-format version (:data:`repro.trace.format
+  .TRACE_FORMAT_VERSION`),
+* a hash of the *source* that produced it (the OPS5 program text, or
+  the generator module's own source code), and
+* the run parameters (seed, name, structural knobs).
+
+and loaded losslessly from disk thereafter via the Figure 4-1 text
+format, which round-trips traces activation-by-activation.  Any change
+to the source or parameters changes the key, so stale entries are never
+served — they are simply orphaned until :func:`clear_cache`.
+
+A per-process memory layer sits in front of the disk: repeated calls in
+one process (the common shape of a test session or a figure
+regeneration) return the same :class:`~repro.trace.events.SectionTrace`
+object.  Cached traces are therefore *shared* and must be treated as
+immutable — which all downstream code already does: the Section 5.2
+transformations build fresh activations rather than editing in place.
+
+Escape hatches
+--------------
+``REPRO_TRACE_CACHE=0`` in the environment (or
+:func:`set_cache_enabled`\\ ``(False)``) disables caching entirely;
+every call rebuilds from scratch — the exact pre-cache behavior.
+``REPRO_TRACE_CACHE_DIR`` overrides the cache directory.
+:func:`clear_cache` removes every stored trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import inspect
+import os
+import re
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from .events import SectionTrace
+from .format import (TRACE_FORMAT_VERSION, TraceFormatError, dump_trace,
+                     read_trace)
+
+#: Environment switch: set to ``0``/``false``/``off``/``no`` to disable.
+ENV_ENABLED = "REPRO_TRACE_CACHE"
+
+#: Environment override for the on-disk cache location.
+ENV_DIR = "REPRO_TRACE_CACHE_DIR"
+
+_FALSY = ("0", "false", "off", "no")
+
+#: Process-level memo (key -> loaded/built trace).
+_memory: Dict[str, SectionTrace] = {}
+
+#: Programmatic enable/disable override (None = follow the environment).
+_enabled_override: Optional[bool] = None
+
+
+def cache_enabled() -> bool:
+    """Whether the cache is active (env + programmatic override)."""
+    if _enabled_override is not None:
+        return _enabled_override
+    return os.environ.get(ENV_ENABLED, "1").strip().lower() not in _FALSY
+
+
+def set_cache_enabled(enabled: Optional[bool]) -> None:
+    """Force the cache on/off; ``None`` restores environment control."""
+    global _enabled_override
+    _enabled_override = enabled
+
+
+def cache_dir() -> Path:
+    """The on-disk cache directory (not necessarily existing yet).
+
+    ``REPRO_TRACE_CACHE_DIR`` wins; a source checkout uses
+    ``<repo>/.trace_cache``; an installed package falls back to a
+    per-user directory under the system temp dir.
+    """
+    env = os.environ.get(ENV_DIR)
+    if env:
+        return Path(env)
+    root = Path(__file__).resolve().parents[3]
+    if (root / "pyproject.toml").exists():
+        return root / ".trace_cache"
+    return Path(tempfile.gettempdir()) / "repro-trace-cache"
+
+
+def trace_key(kind: str, *, source: str = "", **params) -> str:
+    """Content-addressed cache key.
+
+    *kind* is a human-readable prefix kept in the filename; *source* is
+    the text whose content determines the trace (program source or
+    generator code); *params* are the run parameters.  Values are
+    hashed via ``repr``, so use primitives.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"format={TRACE_FORMAT_VERSION}\n".encode("utf-8"))
+    digest.update(f"kind={kind}\n".encode("utf-8"))
+    digest.update(b"source\n" + source.encode("utf-8") + b"\x00")
+    for name in sorted(params):
+        digest.update(f"param {name}={params[name]!r}\n".encode("utf-8"))
+    prefix = re.sub(r"[^A-Za-z0-9_.-]+", "-", kind)[:40] or "trace"
+    return f"{prefix}-{digest.hexdigest()[:32]}"
+
+
+def source_fingerprint(*texts: str) -> str:
+    """Stable digest of one or more source texts, for use as *source*."""
+    digest = hashlib.sha256()
+    for text in texts:
+        digest.update(text.encode("utf-8") + b"\x00")
+    return digest.hexdigest()
+
+
+@lru_cache(maxsize=None)
+def module_source(module_name: str) -> str:
+    """Source text of an imported module.
+
+    The synthetic-section generators fold their own source (and their
+    building blocks') into the cache key this way: editing a generator
+    invalidates its cached traces with no manual version bump.
+    """
+    return inspect.getsource(importlib.import_module(module_name))
+
+
+def _path_for(key: str) -> Path:
+    return cache_dir() / f"{key}.trace"
+
+
+def _store(key: str, trace: SectionTrace) -> None:
+    directory = cache_dir()
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        # Write-to-temp + atomic rename: concurrent processes (the
+        # parallel sweep engine, pytest-xdist) may race on the same key,
+        # and a torn file must never be served.
+        fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as stream:
+                dump_trace(trace, stream)
+            os.replace(tmp_name, _path_for(key))
+        finally:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+    except OSError:
+        pass  # a read-only filesystem degrades to build-every-time
+
+
+def cached_trace(key: str, build: Callable[[], SectionTrace], *,
+                 refresh: bool = False) -> SectionTrace:
+    """Return the trace stored under *key*, building it on a miss.
+
+    With the cache disabled this is exactly ``build()``.  *refresh*
+    forces a rebuild and overwrites the stored entry.
+    """
+    if not cache_enabled():
+        return build()
+    if not refresh:
+        trace = _memory.get(key)
+        if trace is not None:
+            return trace
+        path = _path_for(key)
+        try:
+            trace = read_trace(path)
+        except (OSError, TraceFormatError):
+            trace = None
+        if trace is not None:
+            _memory[key] = trace
+            return trace
+    trace = build()
+    _store(key, trace)
+    _memory[key] = trace
+    return trace
+
+
+def invalidate(key: str) -> bool:
+    """Drop one entry (memory + disk); True if anything was removed."""
+    removed = _memory.pop(key, None) is not None
+    try:
+        _path_for(key).unlink()
+        removed = True
+    except OSError:
+        pass
+    return removed
+
+
+def clear_cache() -> int:
+    """Remove every cached trace; returns the number of files deleted."""
+    _memory.clear()
+    count = 0
+    directory = cache_dir()
+    if directory.is_dir():
+        for path in directory.glob("*.trace"):
+            try:
+                path.unlink()
+                count += 1
+            except OSError:
+                pass
+    return count

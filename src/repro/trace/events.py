@@ -32,7 +32,7 @@ VALID_TAGS = ("+", "-")
 VALID_KINDS = (KIND_JOIN, KIND_NEGATIVE, KIND_TERMINAL)
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceActivation:
     """One node activation in the trace.
 
@@ -77,12 +77,23 @@ class TraceActivation:
         return len(self.successors)
 
 
-@dataclass
+@dataclass(slots=True)
 class CycleTrace:
-    """All activations of one MRA cycle, indexed by act_id."""
+    """All activations of one MRA cycle, indexed by act_id.
+
+    Iteration order (ascending act_id) is computed lazily and cached —
+    the simulators walk each cycle several times per run, and re-sorting
+    on every walk dominated their profile.  The cache is dropped on
+    :meth:`add`; the lists returned by :meth:`ordered` and :meth:`roots`
+    are shared, so callers must not mutate them.
+    """
 
     index: int
     activations: Dict[int, TraceActivation] = field(default_factory=dict)
+    _ordered: Optional[List[TraceActivation]] = field(
+        default=None, init=False, repr=False, compare=False)
+    _roots: Optional[List[TraceActivation]] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def add(self, activation: TraceActivation) -> None:
         if activation.act_id in self.activations:
@@ -90,18 +101,27 @@ class CycleTrace:
                 f"duplicate act_id {activation.act_id} in cycle "
                 f"{self.index}")
         self.activations[activation.act_id] = activation
+        self._ordered = None
+        self._roots = None
+
+    def ordered(self) -> List[TraceActivation]:
+        """All activations in ascending act_id order (cached)."""
+        if self._ordered is None:
+            acts = self.activations
+            self._ordered = [acts[i] for i in sorted(acts)]
+        return self._ordered
 
     def roots(self) -> List[TraceActivation]:
-        """Root activations in act_id order."""
-        return sorted((a for a in self.activations.values() if a.is_root),
-                      key=lambda a: a.act_id)
+        """Root activations in act_id order (cached)."""
+        if self._roots is None:
+            self._roots = [a for a in self.ordered() if a.parent_id is None]
+        return self._roots
 
     def __len__(self) -> int:
         return len(self.activations)
 
     def __iter__(self) -> Iterator[TraceActivation]:
-        return iter(sorted(self.activations.values(),
-                           key=lambda a: a.act_id))
+        return iter(self.ordered())
 
     def two_input_activations(self) -> List[TraceActivation]:
         """Join/negative activations (what Table 5-2 counts)."""
@@ -115,7 +135,7 @@ class CycleTrace:
         return max(self.activations, default=0)
 
 
-@dataclass
+@dataclass(slots=True)
 class ActivationStats:
     """Aggregate counts in the shape of the paper's Table 5-2."""
 
@@ -139,7 +159,7 @@ class ActivationStats:
                 f"{self.right:>7} ({100 - lf}%)   {self.total:>7}")
 
 
-@dataclass
+@dataclass(slots=True)
 class SectionTrace:
     """A named sequence of consecutive cycle traces — one 'section' of a
     production-system execution, in the paper's sense (Section 5)."""

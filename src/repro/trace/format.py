@@ -28,7 +28,12 @@ from ..rete.hashing import BucketKey
 from .events import (VALID_KINDS, VALID_SIDES, VALID_TAGS, CycleTrace,
                      SectionTrace, TraceActivation)
 
-_MAGIC = "#repro-trace 1"
+#: Version of the on-disk trace format.  Bump when the serialization
+#: changes shape; the content-addressed cache (:mod:`repro.trace.cache`)
+#: folds it into every key, so stale cache entries self-invalidate.
+TRACE_FORMAT_VERSION = 1
+
+_MAGIC = f"#repro-trace {TRACE_FORMAT_VERSION}"
 
 
 class TraceFormatError(Exception):

@@ -10,6 +10,7 @@ cross-products all appear.
 from __future__ import annotations
 
 from ..ops5 import Program, parse_program
+from ..trace.cache import cached_trace, trace_key
 from ..trace.events import SectionTrace
 from ..trace.recorder import record_program
 
@@ -136,16 +137,28 @@ def router_program() -> Program:
     return parse_program(GRID_ROUTER)
 
 
+def _recorded_trace(source: str, name: str) -> SectionTrace:
+    """Record *source* once; load the trace from the cache thereafter.
+
+    The cache key is the OPS5 program text itself, so editing a program
+    re-records it, and ``REPRO_TRACE_CACHE=0`` always re-runs the full
+    OPS5 → Rete → trace pipeline.
+    """
+    key = trace_key(f"program-{name}", source=source, name=name)
+    return cached_trace(
+        key, lambda: record_program(parse_program(source), name))
+
+
 def blocks_world_trace() -> SectionTrace:
     """End-to-end recorded trace of the blocks-world run."""
-    return record_program(blocks_world_program(), "blocks-world")
+    return _recorded_trace(BLOCKS_WORLD, "blocks-world")
 
 
 def monkey_trace() -> SectionTrace:
     """End-to-end recorded trace of the monkey-and-bananas run."""
-    return record_program(monkey_program(), "monkey-and-bananas")
+    return _recorded_trace(MONKEY_AND_BANANAS, "monkey-and-bananas")
 
 
 def router_trace() -> SectionTrace:
     """End-to-end recorded trace of the grid-router run."""
-    return record_program(router_program(), "grid-router")
+    return _recorded_trace(GRID_ROUTER, "grid-router")

@@ -22,6 +22,8 @@ import random
 
 from ..mpc.mapping import DEFAULT_N_BUCKETS
 from ..rete.hashing import BucketKey, stable_hash
+from ..trace.cache import (cached_trace, module_source, source_fingerprint,
+                           trace_key)
 from ..trace.events import SectionTrace
 from .synthetic import TraceBuilder, partition_counts, zipf_weights
 
@@ -103,7 +105,19 @@ def _cycle_buckets(cycle: int, count: int, hot: int) -> list:
 
 
 def rubik_section(seed: int = 0) -> SectionTrace:
-    """Build the Rubik section trace (deterministic for a given seed)."""
+    """The Rubik section trace (deterministic for a given seed).
+
+    Served from the on-disk trace cache when available (the key covers
+    this module's source, its building blocks and *seed*); built from
+    scratch otherwise or when ``REPRO_TRACE_CACHE=0``.
+    """
+    key = trace_key("rubik", seed=seed, source=source_fingerprint(
+        module_source(__name__),
+        module_source("repro.workloads.synthetic")))
+    return cached_trace(key, lambda: _build_rubik_section(seed))
+
+
+def _build_rubik_section(seed: int) -> SectionTrace:
     rng = random.Random(seed)
     builder = TraceBuilder("rubik")
 

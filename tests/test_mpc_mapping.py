@@ -115,12 +115,16 @@ class TestGreedy:
        weights=st.lists(st.floats(min_value=0.1, max_value=1000),
                         min_size=1, max_size=60))
 def test_greedy_respects_lpt_bound(n_procs, weights):
-    """Graham's bound: LPT makespan <= (4/3 - 1/3m) * OPT, and OPT >=
-    max(total/m, max item)."""
+    """Greedy list scheduling guarantees makespan <= total/m + max item.
+
+    (Graham's 4/3 factor bounds LPT against the true OPT, which we do
+    not know; applying it to the OPT *lower bound* max(total/m, max)
+    is invalid — e.g. two unit items on three processors have makespan
+    1.0 but lower bound 2/3.  The bound below is the one every greedy
+    schedule provably satisfies, and is within 2x of the lower bound.)"""
     work = {BucketKey(1, (i,)): w for i, w in enumerate(weights)}
     assignment = greedy_assignment(work, n_procs)
     loads = [0.0] * n_procs
     for k, p in assignment.items():
         loads[p] += work[k]
-    opt_lower = max(sum(weights) / n_procs, max(weights))
-    assert max(loads) <= (4 / 3) * opt_lower + 1e-9
+    assert max(loads) <= sum(weights) / n_procs + max(weights) + 1e-9

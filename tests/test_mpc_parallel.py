@@ -1,0 +1,165 @@
+"""Tests for the parallel sweep engine and the optimized simulator.
+
+The contract under test is determinism: any worker count must produce
+results bit-identical to the serial path, and the optimized event loop
+must match :mod:`repro.mpc._reference` (the preserved original
+implementation) exactly.
+"""
+
+import pytest
+
+import repro.mpc.parallel as parallel_mod
+from repro.mpc import (TABLE_5_1, GreedyMappingFactory, GridPoint,
+                       RandomMapping, overhead_sweep, resolve_workers,
+                       run_grid, set_default_workers, simulate,
+                       speedup_curve)
+from repro.mpc._reference import simulate_reference
+from repro.mpc.costmodel import CostModel
+from repro.workloads import rubik_section, tourney_section, weaver_section
+
+PROCS = [1, 4, 16]
+
+
+@pytest.fixture(scope="module")
+def sections():
+    return [rubik_section(), tourney_section(), weaver_section()]
+
+
+@pytest.fixture(autouse=True)
+def reset_default_workers():
+    yield
+    set_default_workers(None)
+
+
+def assert_results_equal(a, b):
+    assert a.total_us == b.total_us
+    assert a.n_messages == b.n_messages
+    assert len(a.cycles) == len(b.cycles)
+    for ca, cb in zip(a.cycles, b.cycles):
+        assert ca == cb
+
+
+def assert_curves_equal(ca, cb):
+    assert ca.label == cb.label
+    assert ca.proc_counts == cb.proc_counts
+    assert ca.speedups == cb.speedups, "parallel sweep changed speedups"
+    for ra, rb in zip(ca.results, cb.results):
+        assert_results_equal(ra, rb)
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(parallel_mod.ENV_WORKERS, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv(parallel_mod.ENV_WORKERS, "5")
+        set_default_workers(2)
+        assert resolve_workers() == 5
+
+    def test_module_default(self, monkeypatch):
+        monkeypatch.delenv(parallel_mod.ENV_WORKERS, raising=False)
+        set_default_workers(4)
+        assert resolve_workers() == 4
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(parallel_mod.ENV_WORKERS, raising=False)
+        set_default_workers(None)
+        assert resolve_workers() >= 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        with pytest.raises(ValueError):
+            set_default_workers(0)
+
+
+class TestRunGrid:
+    def test_matches_direct_simulation(self, sections):
+        trace = sections[0]
+        points = [GridPoint(n_procs=n, overheads=oh)
+                  for oh in TABLE_5_1[:2] for n in PROCS]
+        serial = run_grid(trace, points, workers=1)
+        fanned = run_grid(trace, points, workers=2)
+        assert len(serial) == len(fanned) == len(points)
+        for point, a, b in zip(points, serial, fanned):
+            assert_results_equal(a, b)
+            direct = simulate(trace, n_procs=point.n_procs,
+                              overheads=point.overheads)
+            assert_results_equal(a, direct)
+
+    def test_unpicklable_grid_falls_back_to_serial(self, sections):
+        trace = sections[0]
+        # A closure is unpicklable; the grid must still evaluate.
+        factory = lambda cycle: RandomMapping(n_procs=4, seed=cycle.index)
+        points = [GridPoint(n_procs=4, mapping_factory=factory)]
+        (result,) = run_grid(trace, points, workers=2)
+        (expected,) = run_grid(trace, points, workers=1)
+        assert_results_equal(result, expected)
+
+
+class TestSweepEquivalence:
+    def test_speedup_curve_parallel_equals_serial(self, sections):
+        for trace in sections:
+            serial = speedup_curve(trace, PROCS, workers=1)
+            fanned = speedup_curve(trace, PROCS, workers=2)
+            assert_curves_equal(serial, fanned)
+
+    def test_speedup_curve_with_overheads(self, sections):
+        trace = sections[1]
+        serial = speedup_curve(trace, PROCS, overheads=TABLE_5_1[-1],
+                               workers=1)
+        fanned = speedup_curve(trace, PROCS, overheads=TABLE_5_1[-1],
+                               workers=3)
+        assert_curves_equal(serial, fanned)
+
+    def test_speedup_curve_with_greedy_factory(self, sections):
+        trace = sections[0]
+        serial = speedup_curve(
+            trace, PROCS, workers=1,
+            mapping_factory_for=lambda n: GreedyMappingFactory(n))
+        fanned = speedup_curve(
+            trace, PROCS, workers=2,
+            mapping_factory_for=lambda n: GreedyMappingFactory(n))
+        assert_curves_equal(serial, fanned)
+
+    def test_overhead_sweep_parallel_equals_serial(self, sections):
+        trace = sections[2]
+        serial = overhead_sweep(trace, PROCS, workers=1)
+        fanned = overhead_sweep(trace, PROCS, workers=3)
+        assert len(serial) == len(fanned) == len(TABLE_5_1)
+        for ca, cb in zip(serial, fanned):
+            assert_curves_equal(ca, cb)
+
+    def test_default_workers_route_still_exact(self, sections):
+        """workers=None routes through resolution; results unchanged."""
+        trace = sections[0]
+        set_default_workers(2)
+        fanned = speedup_curve(trace, PROCS)
+        set_default_workers(1)
+        serial = speedup_curve(trace, PROCS)
+        assert_curves_equal(serial, fanned)
+
+
+class TestOptimizedSimulatorMatchesReference:
+    @pytest.mark.parametrize("n_procs", [1, 4, 16, 32])
+    def test_zero_overheads(self, sections, n_procs):
+        for trace in sections:
+            assert_results_equal(
+                simulate(trace, n_procs=n_procs),
+                simulate_reference(trace, n_procs))
+
+    @pytest.mark.parametrize("overheads", TABLE_5_1,
+                             ids=lambda m: m.label())
+    def test_table_5_1_overheads(self, sections, overheads):
+        trace = sections[0]
+        assert_results_equal(
+            simulate(trace, n_procs=16, overheads=overheads),
+            simulate_reference(trace, 16, overheads=overheads))
+
+    def test_delete_search_costs(self, sections):
+        costs = CostModel(delete_search_us=2.0)
+        for trace in sections:
+            assert_results_equal(
+                simulate(trace, n_procs=8, costs=costs),
+                simulate_reference(trace, 8, costs=costs))
