@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Fault injection: what the paper's speedups cost on a lossy network.
+
+The paper simulates a perfect Nectar-class network — no message is ever
+lost, delayed, or duplicated, and no processor ever stalls.  The
+`repro.mpc.faults` layer prices reliability back in: every data message
+is acknowledged, lost messages are retransmitted after a (backed-off)
+timeout, and the ack/retransmit traffic is charged through the same
+Table 5-1 overhead model as real messages.  All fault decisions are
+counter-based draws from a seed, so every run is bit-reproducible.
+
+This example walks the three levels of the API:
+
+1. a single faulty run vs the fault-free baseline,
+2. the degradation curve (speedup vs loss rate),
+3. deterministic disasters: a stalled processor and a fail-stop crash.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.mpc import (TABLE_5_1, FailStop, FaultModel, StallWindow,
+                       fault_sweep, format_degradation, simulate,
+                       simulate_base, speedup)
+from repro.workloads import rubik_section
+
+N_PROCS = 16
+OVERHEADS = TABLE_5_1[1]  # Run 2: 5 us send + 3 us receive
+
+
+def single_run(trace) -> None:
+    print("--- one faulty run vs the fault-free baseline ---")
+    base = simulate_base(trace)
+    clean = simulate(trace, n_procs=N_PROCS, overheads=OVERHEADS)
+    faults = FaultModel(seed=42, loss_prob=0.01, jitter_us=5.0)
+    faulty = simulate(trace, n_procs=N_PROCS, overheads=OVERHEADS,
+                      faults=faults)
+    print(f"fault-free: speedup {speedup(base, clean):.2f}x")
+    print(f"1% loss:    speedup {speedup(base, faulty):.2f}x"
+          f"  ({faulty.fault_summary()})")
+
+    # Same seed => bit-identical result; different seed => different
+    # messages are lost, but the same order of magnitude of them.
+    rerun = simulate(trace, n_procs=N_PROCS, overheads=OVERHEADS,
+                     faults=faults)
+    assert rerun.cycles == faulty.cycles, "determinism broken!"
+    print("rerun with the same seed is bit-identical: yes\n")
+
+
+def degradation_curve(trace) -> None:
+    print("--- speedup vs loss rate (the bench's headline curve) ---")
+    curve = fault_sweep(trace, n_procs=N_PROCS, overheads=OVERHEADS,
+                        seed=0)
+    print(format_degradation(
+        curve, title=f"{trace.name}@{N_PROCS}, "
+                     f"overheads {OVERHEADS.label()}"))
+    assert curve.is_monotone(), "more loss should never help"
+    print()
+
+
+def deterministic_disasters(trace) -> None:
+    print("--- stalls and fail-stop crashes ---")
+    base = simulate_base(trace)
+    clean = simulate(trace, n_procs=N_PROCS, overheads=OVERHEADS)
+
+    # Processor 3 is unavailable for the first 200 us of every cycle
+    # (e.g. servicing another device on a shared node).
+    stall = FaultModel(stalls=(StallWindow(proc=3, start_us=0.0,
+                                           end_us=200.0),))
+    stalled = simulate(trace, n_procs=N_PROCS, overheads=OVERHEADS,
+                       faults=stall)
+
+    # Processor 5 fail-stops at the start of cycle 2 and takes 10 ms
+    # to restart and restore its hash-table partition from checkpoint.
+    crash = FaultModel(failures=(FailStop(proc=5, cycle=2),))
+    crashed = simulate(trace, n_procs=N_PROCS, overheads=OVERHEADS,
+                       faults=crash)
+
+    print(f"clean run:          {speedup(base, clean):.2f}x")
+    print(f"recurring stall:    {speedup(base, stalled):.2f}x "
+          f"({stalled.stall_us / 1000:.2f} ms stalled)")
+    print(f"one fail-stop:      {speedup(base, crashed):.2f}x "
+          f"({crashed.recovery_us / 1000:.1f} ms recovering)")
+    assert stalled.total_us >= clean.total_us
+    assert crashed.total_us >= clean.total_us
+    print()
+
+
+def main() -> None:
+    trace = rubik_section()
+    single_run(trace)
+    degradation_curve(trace)
+    deterministic_disasters(trace)
+    print("conclusion: reliability has a fixed price (one ack per "
+          "message)\nand a marginal one (retransmits + timeouts); "
+          "under 1e-3 loss the\npaper's speedups survive nearly "
+          "intact.")
+
+
+if __name__ == "__main__":
+    main()

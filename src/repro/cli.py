@@ -5,7 +5,10 @@ Commands
 ``sections``
     Print the Table 5-2 statistics of the three characteristic sections.
 ``simulate``
-    Simulate a section (or a trace file) on an MPC and print speedups.
+    Simulate a section (or a trace file) on an MPC and print speedups;
+    ``--loss/--dup/--jitter/--fault-seed`` inject deterministic faults.
+``fault-sweep``
+    Speedup-vs-loss-rate degradation curve at one processor count.
 ``figures``
     Regenerate paper figures (same as ``examples/paper_figures.py``).
 ``trace``
@@ -19,9 +22,16 @@ Examples
 
     python -m repro sections
     python -m repro simulate --section rubik --procs 1 8 32 --overhead 8
+    python -m repro simulate --section rubik --procs 16 --overhead 8 \\
+                             --loss 0.01 --jitter 5
+    python -m repro fault-sweep --section rubik --procs 16 --overhead 8
     python -m repro trace --section weaver --out weaver.trace
     python -m repro simulate --trace-file weaver.trace --procs 16
     python -m repro run my_program.ops --max-cycles 100
+
+Errors (an unreadable or malformed trace file, an invalid flag
+combination) exit with status 2 and a one-line ``error: ...`` message
+on stderr — never a bare traceback.
 """
 
 from __future__ import annotations
@@ -31,9 +41,11 @@ import sys
 from typing import List, Optional
 
 from .analysis import format_table
-from .mpc import (TABLE_5_1, GridPoint, run_grid, set_default_workers,
-                  simulate_base, speedup)
-from .trace import read_trace, save_trace, set_cache_enabled, validate_trace
+from .mpc import (TABLE_5_1, FaultModel, GridPoint, ProtocolModel,
+                  fault_sweep, format_degradation, run_grid,
+                  set_default_workers, simulate_base, speedup)
+from .trace import (TraceFormatError, TraceValidationError, read_trace,
+                    save_trace, set_cache_enabled, validate_trace)
 from .workloads import rubik_section, tourney_section, weaver_section
 
 SECTIONS = {
@@ -43,6 +55,10 @@ SECTIONS = {
 }
 
 OVERHEADS = {int(m.total_us): m for m in TABLE_5_1}
+
+
+class CLIError(Exception):
+    """A user-facing error: printed as one line, exit status 2."""
 
 
 def _apply_perf_flags(args) -> None:
@@ -55,11 +71,49 @@ def _apply_perf_flags(args) -> None:
 
 
 def _load_trace(args):
-    if getattr(args, "trace_file", None):
-        trace = read_trace(args.trace_file)
-        validate_trace(trace)
+    path = getattr(args, "trace_file", None)
+    if path:
+        try:
+            trace = read_trace(path)
+        except OSError as err:
+            raise CLIError(f"cannot read trace file {path}: "
+                           f"{err.strerror or err}") from err
+        except TraceFormatError as err:
+            raise CLIError(f"malformed trace file {path}: {err}") from err
+        try:
+            validate_trace(trace)
+        except TraceValidationError as err:
+            raise CLIError(f"invalid trace {path}: {err}") from err
         return trace
     return SECTIONS[args.section](args.seed)
+
+
+def _fault_model(args, loss: Optional[float] = None) -> Optional[FaultModel]:
+    """Build the FaultModel requested by fault flags (None = fault-free)."""
+    rate = args.loss if loss is None else loss
+    if not 0.0 <= rate <= 1.0:
+        raise CLIError(f"--loss must be in [0, 1], got {rate:g}")
+    if not 0.0 <= args.dup <= 1.0:
+        raise CLIError(f"--dup must be in [0, 1], got {args.dup:g}")
+    if args.jitter < 0.0:
+        raise CLIError(f"--jitter must be >= 0, got {args.jitter:g}")
+    faults = FaultModel(seed=args.fault_seed, loss_prob=rate,
+                        dup_prob=args.dup, jitter_us=args.jitter)
+    return None if faults.is_null else faults
+
+
+def _protocol(args) -> Optional[ProtocolModel]:
+    if args.timeout <= 0.0:
+        raise CLIError(f"--timeout must be > 0, got {args.timeout:g}")
+    if args.retries < 0:
+        raise CLIError(f"--retries must be >= 0, got {args.retries}")
+    return ProtocolModel(timeout_us=args.timeout, max_retries=args.retries)
+
+
+def _check_procs(procs) -> None:
+    for n in procs if isinstance(procs, list) else [procs]:
+        if n < 1:
+            raise CLIError(f"--procs must be >= 1, got {n}")
 
 
 def cmd_sections(args) -> int:
@@ -76,27 +130,66 @@ def cmd_sections(args) -> int:
 
 
 def cmd_simulate(args) -> int:
+    _check_procs(args.procs)
+    faults = _fault_model(args)
+    protocol = _protocol(args) if faults is not None else None
     trace = _load_trace(args)
     overheads = OVERHEADS.get(args.overhead)
     if overheads is None:
-        print(f"error: --overhead must be one of "
-              f"{sorted(OVERHEADS)}", file=sys.stderr)
-        return 2
+        raise CLIError(f"--overhead must be one of {sorted(OVERHEADS)}")
     base = simulate_base(trace)
     # One grid point per processor count, fanned out over --workers.
-    points = [GridPoint(n_procs=n, overheads=overheads)
+    points = [GridPoint(n_procs=n, overheads=overheads, faults=faults,
+                        protocol=protocol)
               for n in args.procs]
     runs = run_grid(trace, points, workers=getattr(args, "workers", None))
+    headers = ["procs", "time (ms)", "speedup", "messages", "net idle"]
+    if faults is not None:
+        headers += ["retransmits", "dup drops"]
     rows = []
     for n_procs, run in zip(args.procs, runs):
-        rows.append([n_procs, f"{run.total_us / 1000:.2f}",
-                     f"{speedup(base, run):.2f}x", run.n_messages,
-                     f"{run.network_idle_fraction():.1%}"])
-    print(format_table(
-        ["procs", "time (ms)", "speedup", "messages", "net idle"], rows,
-        title=f"{trace.name}: base (1 proc, 0 overhead) = "
-              f"{base.total_us / 1000:.2f} ms; "
-              f"overheads {overheads.label()}"))
+        row = [n_procs, f"{run.total_us / 1000:.2f}",
+               f"{speedup(base, run):.2f}x", run.n_messages,
+               f"{run.network_idle_fraction():.1%}"]
+        if faults is not None:
+            row += [run.retransmits, run.duplicate_drops]
+        rows.append(row)
+    title = (f"{trace.name}: base (1 proc, 0 overhead) = "
+             f"{base.total_us / 1000:.2f} ms; "
+             f"overheads {overheads.label()}")
+    if faults is not None:
+        title += (f"; faults loss={faults.loss_prob:g} "
+                  f"dup={faults.dup_prob:g} jitter={faults.jitter_us:g}us "
+                  f"seed={faults.seed}")
+    print(format_table(headers, rows, title=title))
+    return 0
+
+
+def cmd_fault_sweep(args) -> int:
+    _check_procs(args.procs)
+    for rate in args.loss:
+        if not 0.0 <= rate <= 1.0:
+            raise CLIError(f"--loss rates must be in [0, 1], got {rate:g}")
+    if args.dup or args.jitter:  # validate the shared fault flags
+        _fault_model(args, loss=0.0)
+    protocol = _protocol(args)
+    trace = _load_trace(args)
+    overheads = OVERHEADS.get(args.overhead)
+    if overheads is None:
+        raise CLIError(f"--overhead must be one of {sorted(OVERHEADS)}")
+    curve = fault_sweep(trace, n_procs=args.procs, loss_rates=args.loss,
+                        overheads=overheads, seed=args.fault_seed,
+                        dup_prob=args.dup, jitter_us=args.jitter,
+                        protocol=protocol,
+                        workers=getattr(args, "workers", None))
+    print(format_degradation(
+        curve,
+        title=f"{trace.name}@{args.procs} procs, overheads "
+              f"{overheads.label()}, seed {args.fault_seed}: "
+              f"speedup degradation vs message-loss rate"))
+    if not curve.is_monotone():
+        print("warning: degradation curve is not monotone",
+              file=sys.stderr)
     return 0
 
 
@@ -225,8 +318,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_sections)
 
+    # Shared fault-injection knobs (see README "Fault model").
+    fault = argparse.ArgumentParser(add_help=False)
+    fault.add_argument(
+        "--dup", type=float, default=0.0, metavar="P",
+        help="per-message duplication probability in [0, 1] (default 0)")
+    fault.add_argument(
+        "--jitter", type=float, default=0.0, metavar="US",
+        help="max extra transit latency per message in us (default 0)")
+    fault.add_argument(
+        "--fault-seed", type=int, default=0, metavar="N",
+        help="seed of the deterministic fault model (default 0); the "
+             "same seed always reproduces the same faults")
+    fault.add_argument(
+        "--timeout", type=float, default=500.0, metavar="US",
+        help="ack timeout before retransmit, in us (default 500)")
+    fault.add_argument(
+        "--retries", type=int, default=8, metavar="N",
+        help="max retransmissions before the reliable fallback "
+             "(default 8)")
+
     p = sub.add_parser("simulate", help="simulate a section on an MPC",
-                       parents=[perf])
+                       parents=[perf, fault])
     group = p.add_mutually_exclusive_group()
     group.add_argument("--section", choices=sorted(SECTIONS),
                        default="rubik")
@@ -236,8 +349,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--overhead", type=int, default=0,
                    help="total message overhead in us "
                         "(a Table 5-1 row: 0, 8, 16 or 32)")
+    p.add_argument("--loss", type=float, default=0.0, metavar="P",
+                   help="per-message loss probability in [0, 1] "
+                        "(default 0 = the paper's perfect network)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("fault-sweep",
+                       help="speedup degradation vs message-loss rate",
+                       parents=[perf, fault])
+    group = p.add_mutually_exclusive_group()
+    group.add_argument("--section", choices=sorted(SECTIONS),
+                       default="rubik")
+    group.add_argument("--trace-file", help="a saved Fig 4-1 trace")
+    p.add_argument("--procs", type=int, default=16,
+                   help="processor count held fixed across the sweep")
+    p.add_argument("--loss", type=float, nargs="+", metavar="P",
+                   default=[0.0, 1e-4, 1e-3, 1e-2],
+                   help="loss rates to sweep (default: 0 1e-4 1e-3 1e-2)")
+    p.add_argument("--overhead", type=int, default=8,
+                   help="total message overhead in us "
+                        "(a Table 5-1 row: 0, 8, 16 or 32; default 8)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_fault_sweep)
 
     p = sub.add_parser("diagnose",
                        help="detect speedup limiters in a trace "
@@ -306,7 +440,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     _apply_perf_flags(args)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CLIError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

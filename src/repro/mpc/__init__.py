@@ -16,6 +16,8 @@ from .continuum import simulate_master_copy, simulate_replicated
 from .dedicated import simulate_dedicated_alpha
 from .costmodel import (DEFAULT_COSTS, TABLE_5_1, ZERO_OVERHEADS, CostModel,
                         OverheadModel, table_5_1_rows)
+from .faults import (DEFAULT_PROTOCOL, DeliveryPlan, FailStop, FaultModel,
+                     ProtocolModel, StallWindow, plan_delivery)
 from .mapping import (DEFAULT_N_BUCKETS, BucketMapping, ExplicitMapping,
                       RandomMapping, RoundRobinMapping, greedy_assignment,
                       greedy_mapping)
@@ -29,12 +31,18 @@ from .simulator import (BucketWorkCache, GreedyMappingFactory, bucket_work,
                         compute_search_costs, simulate, simulate_base)
 from .termination import (TerminationScheme, apply_termination,
                           detection_delay, termination_overhead_fraction)
-from .sweep import (DEFAULT_PROC_COUNTS, SpeedupCurve, format_curves,
-                    overhead_sweep, speedup_curve, speedup_loss)
+from .sweep import (DEFAULT_LOSS_RATES, DEFAULT_PROC_COUNTS,
+                    DegradationCurve, SpeedupCurve, fault_sweep,
+                    format_curves, format_degradation, overhead_sweep,
+                    speedup_curve, speedup_loss)
 
 __all__ = [
     "DEFAULT_COSTS", "TABLE_5_1", "ZERO_OVERHEADS", "CostModel",
     "OverheadModel", "table_5_1_rows",
+    "DEFAULT_PROTOCOL", "DeliveryPlan", "FailStop", "FaultModel",
+    "ProtocolModel", "StallWindow", "plan_delivery",
+    "DEFAULT_LOSS_RATES", "DegradationCurve", "fault_sweep",
+    "format_degradation",
     "DEFAULT_N_BUCKETS", "BucketMapping", "ExplicitMapping",
     "RandomMapping", "RoundRobinMapping", "greedy_assignment",
     "greedy_mapping",

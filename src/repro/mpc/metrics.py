@@ -27,6 +27,16 @@ class CycleResult:
     n_messages: int
     network_busy_us: float
     control_busy_us: float
+    #: Reliable-delivery protocol counters (:mod:`repro.mpc.faults`).
+    #: All zero on the fault-free path, which keeps fault-free results
+    #: (and their equality comparisons) identical to before the fault
+    #: subsystem existed.
+    retransmits: int = 0
+    duplicate_drops: int = 0
+    acks: int = 0
+    timeout_wait_us: float = 0.0
+    stall_us: float = 0.0
+    recovery_us: float = 0.0
 
     @property
     def n_procs(self) -> int:
@@ -57,6 +67,41 @@ class SimResult:
     @property
     def n_messages(self) -> int:
         return sum(c.n_messages for c in self.cycles)
+
+    # -- fault/protocol aggregates (zero on the fault-free path) ------------
+
+    @property
+    def retransmits(self) -> int:
+        return sum(c.retransmits for c in self.cycles)
+
+    @property
+    def duplicate_drops(self) -> int:
+        return sum(c.duplicate_drops for c in self.cycles)
+
+    @property
+    def acks(self) -> int:
+        return sum(c.acks for c in self.cycles)
+
+    @property
+    def timeout_wait_us(self) -> float:
+        return sum(c.timeout_wait_us for c in self.cycles)
+
+    @property
+    def stall_us(self) -> float:
+        return sum(c.stall_us for c in self.cycles)
+
+    @property
+    def recovery_us(self) -> float:
+        return sum(c.recovery_us for c in self.cycles)
+
+    def fault_summary(self) -> str:
+        """One line of protocol-layer accounting for reports."""
+        return (f"{self.retransmits} retransmits, "
+                f"{self.duplicate_drops} duplicate drops, "
+                f"{self.acks} acks, "
+                f"{self.timeout_wait_us / 1000:.2f} ms timeout wait, "
+                f"{(self.stall_us + self.recovery_us) / 1000:.2f} ms "
+                f"stalled/recovering")
 
     def average_idle_fraction(self) -> float:
         """Mean idle fraction across processors and cycles, time-weighted."""

@@ -21,24 +21,38 @@ harness):
 Grids whose inputs cannot be pickled (e.g. a closure-based per-cycle
 mapping factory) quietly fall back to the serial path — correctness
 first, parallelism when possible.
+
+Worker crashes do not kill a sweep: when the pool breaks
+(``BrokenProcessPool`` — a worker segfaulted, was OOM-killed, or died
+unpickling its payload), the unfinished points are retried once in a
+fresh pool, and if that pool breaks too they are evaluated serially
+in-process.  Recovered points are logged via the ``repro.mpc.parallel``
+logger; because every point is pure, the recovered results are
+identical to what the healthy pool (or the serial path) would have
+produced.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from ..trace.events import SectionTrace
 from .costmodel import (DEFAULT_COSTS, TABLE_5_1, ZERO_OVERHEADS, CostModel,
                         OverheadModel)
+from .faults import FaultModel, ProtocolModel
 from .mapping import BucketMapping
 from .metrics import SimResult, speedup
 from .simulator import MappingFactory, simulate
 from .sweep import (DEFAULT_PROC_COUNTS, SpeedupCurve, _serial_overhead_sweep,
                     _serial_speedup_curve)
+
+logger = logging.getLogger(__name__)
 
 #: Environment override for the default worker count.
 ENV_WORKERS = "REPRO_SWEEP_WORKERS"
@@ -79,13 +93,16 @@ class GridPoint:
     overheads: OverheadModel = ZERO_OVERHEADS
     mapping: Optional[BucketMapping] = None
     mapping_factory: Optional[MappingFactory] = None
+    faults: Optional[FaultModel] = None
+    protocol: Optional[ProtocolModel] = None
 
 
 def _eval_point(trace: SectionTrace, costs: CostModel,
                 point: GridPoint) -> SimResult:
     return simulate(trace, n_procs=point.n_procs, costs=costs,
                     overheads=point.overheads, mapping=point.mapping,
-                    mapping_factory=point.mapping_factory)
+                    mapping_factory=point.mapping_factory,
+                    faults=point.faults, protocol=point.protocol)
 
 
 def _picklable(payload) -> bool:
@@ -94,6 +111,41 @@ def _picklable(payload) -> bool:
         return True
     except Exception:
         return False
+
+
+def _run_pool(trace: SectionTrace, costs: CostModel,
+              points: Sequence[GridPoint], indices: Sequence[int],
+              results: List[Optional[SimResult]],
+              n_workers: int) -> List[int]:
+    """Evaluate ``points[i]`` for each *i* in *indices* in one pool.
+
+    Fills *results* in place and returns the indices left unfinished
+    because the pool broke (always empty on a healthy pool).
+    """
+    remaining: List[int] = []
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        futures = []
+        pending = list(indices)
+        while pending:
+            i = pending[0]
+            try:
+                futures.append((i, pool.submit(_eval_point, trace, costs,
+                                               points[i])))
+            except BrokenProcessPool:
+                break
+            pending.pop(0)
+        broken = False
+        for i, future in futures:
+            if broken:
+                remaining.append(i)
+                continue
+            try:
+                results[i] = future.result()
+            except BrokenProcessPool:
+                broken = True
+                remaining.append(i)
+        remaining.extend(pending)
+    return remaining
 
 
 def run_grid(trace: SectionTrace, points: Sequence[GridPoint],
@@ -105,15 +157,33 @@ def run_grid(trace: SectionTrace, points: Sequence[GridPoint],
     inputs) computes in-process; otherwise points are dispatched to a
     process pool.  Either way the returned list is deterministic and
     identical between the two paths.
+
+    Worker crashes are survived: points stranded by a broken pool are
+    retried once in a fresh pool and, failing that, evaluated serially
+    in-process (see the module docstring).
     """
     points = list(points)
     n_workers = min(resolve_workers(workers), len(points))
     if n_workers <= 1 or not _picklable((trace, costs, points)):
         return [_eval_point(trace, costs, point) for point in points]
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        futures = [pool.submit(_eval_point, trace, costs, point)
-                   for point in points]
-        return [future.result() for future in futures]
+    results: List[Optional[SimResult]] = [None] * len(points)
+    remaining = _run_pool(trace, costs, points, range(len(points)),
+                          results, n_workers)
+    if remaining:
+        logger.warning(
+            "worker pool broke with %d of %d point(s) unfinished; "
+            "retrying them in a fresh pool", len(remaining), len(points))
+        remaining = _run_pool(trace, costs, points, remaining, results,
+                              min(n_workers, len(remaining)))
+    if remaining:
+        logger.warning(
+            "fresh pool broke too; evaluating %d point(s) serially "
+            "in-process", len(remaining))
+        for i in remaining:
+            results[i] = _eval_point(trace, costs, points[i])
+        logger.info("recovered grid point(s) %s via serial fallback",
+                    remaining)
+    return results  # type: ignore[return-value]
 
 
 def parallel_speedup_curve(

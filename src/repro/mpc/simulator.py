@@ -162,7 +162,9 @@ def simulate(trace: SectionTrace,
              costs: CostModel = DEFAULT_COSTS,
              overheads: OverheadModel = ZERO_OVERHEADS,
              mapping: Optional[BucketMapping] = None,
-             mapping_factory: Optional[MappingFactory] = None) -> SimResult:
+             mapping_factory: Optional[MappingFactory] = None,
+             faults: Optional["FaultModel"] = None,
+             protocol: Optional["ProtocolModel"] = None) -> SimResult:
     """Simulate *trace* on *n_procs* match processors.
 
     Parameters
@@ -179,6 +181,14 @@ def simulate(trace: SectionTrace,
     mapping_factory:
         When given, overrides *mapping* with a fresh mapping per cycle —
         the paper's idealized per-cycle greedy redistribution.
+    faults / protocol:
+        Optional deterministic fault injection and reliable-delivery
+        parameters (:mod:`repro.mpc.faults`).  ``None`` or a null
+        :class:`~repro.mpc.faults.FaultModel` keeps the exact fault-free
+        code path — results are bit-identical to a call without these
+        arguments.  *protocol* defaults to
+        :data:`~repro.mpc.faults.DEFAULT_PROTOCOL` when faults are
+        active, and is ignored otherwise.
 
     Returns
     -------
@@ -193,6 +203,12 @@ def simulate(trace: SectionTrace,
             f"mapping built for {mapping.n_procs} processors, "
             f"simulating {n_procs}")
 
+    faulty = faults is not None and not faults.is_null
+    if faulty:
+        from .faults import DEFAULT_PROTOCOL, simulate_cycle_with_faults
+        if protocol is None:
+            protocol = DEFAULT_PROTOCOL
+
     search_costs = compute_search_costs(trace, costs)
     result = SimResult(trace_name=trace.name, n_procs=n_procs)
     for cycle in trace:
@@ -201,10 +217,15 @@ def simulate(trace: SectionTrace,
         if cycle_mapping.n_procs != n_procs:
             raise ValueError("mapping_factory produced a mapping for "
                              f"{cycle_mapping.n_procs} processors")
-        result.cycles.append(
-            _simulate_cycle(cycle, n_procs, costs, overheads,
-                            cycle_mapping,
-                            search_costs.get(cycle.index, {})))
+        if faulty:
+            cycle_result = simulate_cycle_with_faults(
+                cycle, n_procs, costs, overheads, cycle_mapping,
+                faults, protocol, search_costs.get(cycle.index, {}))
+        else:
+            cycle_result = _simulate_cycle(
+                cycle, n_procs, costs, overheads, cycle_mapping,
+                search_costs.get(cycle.index, {}))
+        result.cycles.append(cycle_result)
     return result
 
 

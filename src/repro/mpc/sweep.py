@@ -20,9 +20,14 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from ..trace.events import SectionTrace
 from .costmodel import (DEFAULT_COSTS, TABLE_5_1, ZERO_OVERHEADS, CostModel,
                         OverheadModel)
+from .faults import FaultModel, ProtocolModel
 from .mapping import BucketMapping
 from .metrics import SimResult, speedup
 from .simulator import MappingFactory, simulate, simulate_base
+
+#: The loss rates of the canonical degradation curve (the fault-sweep
+#: analogue of the paper's Table 5-1 overhead rows).
+DEFAULT_LOSS_RATES: Tuple[float, ...] = (0.0, 1e-4, 1e-3, 1e-2)
 
 #: The processor counts swept in the paper's figures (Nectar scale: up
 #: to 32 processors).
@@ -145,6 +150,93 @@ def _serial_overhead_sweep(trace: SectionTrace,
                                   costs=costs,
                                   label=f"{trace.name}@{overheads.label()}")
             for overheads in overhead_settings]
+
+
+@dataclass
+class DegradationCurve:
+    """Speedup vs message-loss rate at a fixed processor count.
+
+    The fault-injection analogue of a :class:`SpeedupCurve`: the x axis
+    is the per-message loss probability instead of the processor count.
+    """
+
+    label: str
+    n_procs: int
+    loss_rates: List[float]
+    speedups: List[float]
+    results: List[SimResult] = field(repr=False, default_factory=list)
+
+    def degradation(self, i: int) -> float:
+        """Fractional speedup lost at point *i* relative to loss 0."""
+        if not self.speedups or self.speedups[0] <= 0:
+            return 0.0
+        return 1.0 - self.speedups[i] / self.speedups[0]
+
+    def is_monotone(self, tol: float = 1e-9) -> bool:
+        """Whether speedup never increases as the loss rate grows."""
+        return all(b <= a + tol for a, b in
+                   zip(self.speedups, self.speedups[1:]))
+
+    def rows(self) -> List[str]:
+        return [f"  loss {rate:<8g} {s:6.2f}x  "
+                f"(-{100 * self.degradation(i):.1f}%)"
+                for i, (rate, s) in enumerate(zip(self.loss_rates,
+                                                  self.speedups))]
+
+
+def fault_sweep(trace: SectionTrace,
+                n_procs: int = 16,
+                loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
+                overheads: OverheadModel = ZERO_OVERHEADS,
+                costs: CostModel = DEFAULT_COSTS,
+                seed: int = 0,
+                dup_prob: float = 0.0,
+                jitter_us: float = 0.0,
+                protocol: Optional[ProtocolModel] = None,
+                label: Optional[str] = None,
+                workers: Optional[int] = None) -> DegradationCurve:
+    """Speedup degradation of *trace* across message-loss rates.
+
+    Every point simulates the same machine under a
+    :class:`~repro.mpc.faults.FaultModel` seeded with *seed* at one
+    loss rate; speedups are paper-style, against the fault-free
+    1-processor zero-overhead base.  A loss rate of exactly 0 (with
+    ``dup_prob`` and ``jitter_us`` 0) runs the fault-free simulator —
+    the curve's anchor is bit-identical to :func:`simulate` without
+    faults.  Deterministic for any *workers* value.
+    """
+    from .parallel import GridPoint, run_grid
+    points = [GridPoint(n_procs=1)]
+    for rate in loss_rates:
+        faults = FaultModel(seed=seed, loss_prob=rate, dup_prob=dup_prob,
+                            jitter_us=jitter_us)
+        points.append(GridPoint(n_procs=n_procs, overheads=overheads,
+                                faults=None if faults.is_null else faults,
+                                protocol=protocol))
+    results = run_grid(trace, points, costs=costs, workers=workers)
+    base, rest = results[0], results[1:]
+    return DegradationCurve(
+        label=label or f"{trace.name}@{n_procs}procs",
+        n_procs=n_procs,
+        loss_rates=list(loss_rates),
+        speedups=[speedup(base, result) for result in rest],
+        results=rest)
+
+
+def format_degradation(curve: DegradationCurve, title: str = "") -> str:
+    """ASCII table of a degradation curve, with protocol counters."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'loss':>10} {'speedup':>9} {'degraded':>9} "
+                 f"{'retransmits':>12} {'dup drops':>10} "
+                 f"{'timeout (ms)':>13}")
+    for i, (rate, s) in enumerate(zip(curve.loss_rates, curve.speedups)):
+        r = curve.results[i]
+        lines.append(f"{rate:>10g} {s:>8.2f}x {curve.degradation(i):>8.1%} "
+                     f"{r.retransmits:>12} {r.duplicate_drops:>10} "
+                     f"{r.timeout_wait_us / 1000:>13.2f}")
+    return "\n".join(lines)
 
 
 def speedup_loss(zero_curve: SpeedupCurve,

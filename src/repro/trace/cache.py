@@ -30,6 +30,16 @@ Escape hatches
 every call rebuilds from scratch — the exact pre-cache behavior.
 ``REPRO_TRACE_CACHE_DIR`` overrides the cache directory.
 :func:`clear_cache` removes every stored trace.
+
+Corruption
+----------
+A cache entry that exists but fails to parse (torn write survived a
+crash, disk corruption, manual edit) is **quarantined**, not silently
+rebuilt over: the file is renamed to ``<entry>.corrupt`` and a warning
+is logged via the ``repro.trace.cache`` logger, then the trace is
+rebuilt and stored fresh.  Repeated corruption therefore stays
+diagnosable — the ``*.corrupt`` files accumulate as evidence instead of
+vanishing.  :func:`clear_cache` removes quarantined files too.
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ from __future__ import annotations
 import hashlib
 import importlib
 import inspect
+import logging
 import os
 import re
 import tempfile
@@ -47,6 +58,8 @@ from typing import Callable, Dict, Optional
 from .events import SectionTrace
 from .format import (TRACE_FORMAT_VERSION, TraceFormatError, dump_trace,
                      read_trace)
+
+logger = logging.getLogger(__name__)
 
 #: Environment switch: set to ``0``/``false``/``off``/``no`` to disable.
 ENV_ENABLED = "REPRO_TRACE_CACHE"
@@ -168,7 +181,10 @@ def cached_trace(key: str, build: Callable[[], SectionTrace], *,
         path = _path_for(key)
         try:
             trace = read_trace(path)
-        except (OSError, TraceFormatError):
+        except OSError:
+            trace = None  # a plain miss (or unreadable dir): rebuild
+        except TraceFormatError as err:
+            _quarantine(path, err)
             trace = None
         if trace is not None:
             _memory[key] = trace
@@ -177,6 +193,28 @@ def cached_trace(key: str, build: Callable[[], SectionTrace], *,
     _store(key, trace)
     _memory[key] = trace
     return trace
+
+
+def _quarantine(path: Path, err: Exception) -> Optional[Path]:
+    """Set a corrupt cache entry aside as ``<name>.corrupt``.
+
+    Renaming (rather than deleting) keeps the evidence: repeated
+    corruption of the same entry is a symptom worth diagnosing, not
+    something to silently rebuild over.  Returns the quarantine path,
+    or ``None`` if even the rename failed (read-only filesystem).
+    """
+    target = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, target)
+    except OSError:
+        logger.warning(
+            "corrupt trace cache entry %s (%s); could not quarantine it "
+            "— rebuilding anyway", path, err)
+        return None
+    logger.warning(
+        "corrupt trace cache entry %s (%s); quarantined as %s and "
+        "rebuilding", path.name, err, target.name)
+    return target
 
 
 def invalidate(key: str) -> bool:
@@ -191,15 +229,17 @@ def invalidate(key: str) -> bool:
 
 
 def clear_cache() -> int:
-    """Remove every cached trace; returns the number of files deleted."""
+    """Remove every cached trace (and quarantined ``*.corrupt`` file);
+    returns the number of files deleted."""
     _memory.clear()
     count = 0
     directory = cache_dir()
     if directory.is_dir():
-        for path in directory.glob("*.trace"):
-            try:
-                path.unlink()
-                count += 1
-            except OSError:
-                pass
+        for pattern in ("*.trace", "*.trace.corrupt"):
+            for path in directory.glob(pattern):
+                try:
+                    path.unlink()
+                    count += 1
+                except OSError:
+                    pass
     return count

@@ -97,6 +97,74 @@ class TestInProcess:
         assert main(["run", str(source), "--verbose"]) == 0
         assert "cycle 1: go" in capsys.readouterr().out
 
+    def test_simulate_with_faults(self, capsys):
+        assert main(["simulate", "--section", "weaver",
+                     "--procs", "1", "16", "--overhead", "8",
+                     "--loss", "0.01", "--fault-seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "loss=0.01" in out
+        assert "retrans" in out
+
+    def test_fault_sweep_command(self, capsys):
+        assert main(["fault-sweep", "--section", "weaver",
+                     "--procs", "8", "--loss", "0", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "loss" in out and "speedup" in out
+
+
+class TestErrorPaths:
+    """Bad input exits non-zero with a one-line error on stderr."""
+
+    def one_line_error(self, capsys):
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert err.strip().count("\n") == 0, "error must be one line"
+        return err
+
+    def test_missing_trace_file(self, tmp_path, capsys):
+        missing = tmp_path / "nope.trace"
+        assert main(["simulate", "--trace-file", str(missing)]) == 2
+        assert "cannot read trace file" in self.one_line_error(capsys)
+
+    def test_malformed_trace_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.trace"
+        bad.write_text("this is not a trace\n", encoding="utf-8")
+        assert main(["simulate", "--trace-file", str(bad)]) == 2
+        assert "malformed trace file" in self.one_line_error(capsys)
+
+    def test_truncated_trace_file(self, tmp_path, capsys):
+        whole = tmp_path / "ok.trace"
+        assert main(["trace", "--section", "weaver",
+                     "--out", str(whole)]) == 0
+        capsys.readouterr()
+        torn = tmp_path / "torn.trace"
+        text = whole.read_text(encoding="utf-8")
+        torn.write_text(text[: len(text) // 2].rsplit(" ", 1)[0],
+                        encoding="utf-8")
+        assert main(["diagnose", "--trace-file", str(torn)]) == 2
+        assert "trace file" in self.one_line_error(capsys)
+
+    def test_loss_out_of_range(self, capsys):
+        assert main(["simulate", "--loss", "1.5"]) == 2
+        assert "--loss" in self.one_line_error(capsys)
+
+    def test_negative_jitter(self, capsys):
+        assert main(["simulate", "--loss", "0.1",
+                     "--jitter", "-3"]) == 2
+        assert "--jitter" in self.one_line_error(capsys)
+
+    def test_zero_procs(self, capsys):
+        assert main(["simulate", "--procs", "0"]) == 2
+        assert "--procs" in self.one_line_error(capsys)
+
+    def test_bad_timeout(self, capsys):
+        assert main(["fault-sweep", "--timeout", "0"]) == 2
+        assert "--timeout" in self.one_line_error(capsys)
+
+    def test_fault_sweep_bad_loss(self, capsys):
+        assert main(["fault-sweep", "--loss", "0", "2"]) == 2
+        assert "--loss" in self.one_line_error(capsys)
+
 
 class TestSubprocess:
     def test_module_entry_point(self):

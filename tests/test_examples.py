@@ -58,6 +58,14 @@ def test_architectures():
     assert "master copy" in result.stdout
 
 
+def test_fault_tolerance():
+    result = run_example("fault_tolerance.py")
+    assert result.returncode == 0, result.stderr
+    assert "bit-identical: yes" in result.stdout
+    assert "retransmits" in result.stdout
+    assert "recovering" in result.stdout
+
+
 def test_architectures_rejects_unknown_section():
     result = run_example("architectures.py", "nosuch")
     assert result.returncode != 0

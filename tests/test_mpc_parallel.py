@@ -6,18 +6,34 @@ must match :mod:`repro.mpc._reference` (the preserved original
 implementation) exactly.
 """
 
+import os
+
 import pytest
 
 import repro.mpc.parallel as parallel_mod
 from repro.mpc import (TABLE_5_1, GreedyMappingFactory, GridPoint,
-                       RandomMapping, overhead_sweep, resolve_workers,
-                       run_grid, set_default_workers, simulate,
-                       speedup_curve)
+                       RandomMapping, RoundRobinMapping, overhead_sweep,
+                       resolve_workers, run_grid, set_default_workers,
+                       simulate, speedup_curve)
 from repro.mpc._reference import simulate_reference
 from repro.mpc.costmodel import CostModel
 from repro.workloads import rubik_section, tourney_section, weaver_section
 
 PROCS = [1, 4, 16]
+
+
+def _kill_worker(n_procs):
+    """Unpickling this payload hard-kills the worker process."""
+    os._exit(17)
+
+
+class CrashOnUnpickleMapping(RoundRobinMapping):
+    """Behaves like round robin in-process, but any worker process that
+    unpickles it dies instantly — simulating a crashing/OOM-killed
+    worker for the sweep-engine fault-tolerance tests."""
+
+    def __reduce__(self):
+        return (_kill_worker, (self.n_procs,))
 
 
 @pytest.fixture(scope="module")
@@ -96,6 +112,56 @@ class TestRunGrid:
         (result,) = run_grid(trace, points, workers=2)
         (expected,) = run_grid(trace, points, workers=1)
         assert_results_equal(result, expected)
+
+
+class TestWorkerCrashRecovery:
+    """A crashed worker must not kill the sweep: the engine retries the
+    stranded points in a fresh pool and then falls back to in-process
+    serial evaluation, producing results identical to the serial path."""
+
+    def crash_points(self, n_crash=1):
+        points = [GridPoint(n_procs=n, overheads=oh)
+                  for oh in TABLE_5_1[:2] for n in PROCS]
+        # Poison one or more points: their mapping kills any worker
+        # that unpickles it, but works normally in-process.
+        for i in range(n_crash):
+            slot = 2 * i + 1
+            points[slot] = GridPoint(
+                n_procs=4, overheads=TABLE_5_1[1],
+                mapping=CrashOnUnpickleMapping(n_procs=4))
+        return points
+
+    def test_crash_falls_back_and_matches_serial(self, sections, caplog):
+        trace = sections[0]
+        points = self.crash_points()
+        serial = run_grid(trace, points, workers=1)
+        with caplog.at_level("INFO", logger="repro.mpc.parallel"):
+            fanned = run_grid(trace, points, workers=2)
+        assert len(fanned) == len(serial) == len(points)
+        for a, b in zip(serial, fanned):
+            assert_results_equal(a, b)
+        # The recovery was logged, naming the recovered points.
+        assert any("serial fallback" in rec.message
+                   for rec in caplog.records)
+
+    def test_multiple_crashes_still_complete(self, sections):
+        trace = sections[0]
+        points = self.crash_points(n_crash=2)
+        serial = run_grid(trace, points, workers=1)
+        fanned = run_grid(trace, points, workers=3)
+        for a, b in zip(serial, fanned):
+            assert_results_equal(a, b)
+
+    def test_healthy_pool_unaffected(self, sections, caplog):
+        """No crash => no recovery machinery engages, no warnings."""
+        trace = sections[0]
+        points = [GridPoint(n_procs=n) for n in PROCS]
+        with caplog.at_level("WARNING", logger="repro.mpc.parallel"):
+            results = run_grid(trace, points, workers=2)
+        assert not caplog.records
+        for point, result in zip(points, results):
+            assert_results_equal(
+                result, simulate(trace, n_procs=point.n_procs))
 
 
 class TestSweepEquivalence:

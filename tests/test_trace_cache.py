@@ -156,10 +156,68 @@ class TestInvalidation:
         key = trace_key("corrupt", seed=0)
         cached_trace(key, small_trace)
         trace_cache._memory.clear()
-        for path in cache_dir().iterdir():
+        for path in cache_dir().glob("*.trace"):
             path.write_text("not a trace\n", encoding="utf-8")
         rebuilt = cached_trace(key, lambda: small_trace(seed=0))
         assert_traces_equal(rebuilt, small_trace(seed=0))
+
+
+class TestQuarantine:
+    def plant_truncated_entry(self, key):
+        """Store a valid entry, then truncate it mid-line on disk."""
+        cached_trace(key, small_trace)
+        trace_cache._memory.clear()
+        (path,) = cache_dir().glob("*.trace")
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) // 2].rsplit(" ", 1)[0],
+                        encoding="utf-8")
+        return path
+
+    def test_truncated_entry_quarantined_and_rebuilt(self, caplog):
+        """The round trip the fault issue asks for: a truncated entry
+        must be set aside as *.corrupt (with a warning) and the trace
+        rebuilt transparently, bit-identical to a fresh build."""
+        key = trace_key("torn", seed=3)
+        path = self.plant_truncated_entry(key)
+        with caplog.at_level("WARNING", logger="repro.trace.cache"):
+            rebuilt = cached_trace(key, lambda: small_trace(seed=3))
+        assert_traces_equal(rebuilt, small_trace(seed=3))
+        corrupt = path.with_name(path.name + ".corrupt")
+        assert corrupt.exists(), "corrupt entry was not quarantined"
+        assert any("quarantined" in rec.message for rec in caplog.records)
+        # The rebuilt entry is stored again and loads cleanly from disk.
+        trace_cache._memory.clear()
+        reloaded = cached_trace(
+            key, lambda: pytest.fail("should load from disk"))
+        assert_traces_equal(reloaded, small_trace(seed=3))
+
+    def test_repeated_corruption_accumulates_evidence(self):
+        key = trace_key("torn-again", seed=4)
+        self.plant_truncated_entry(key)
+        cached_trace(key, lambda: small_trace(seed=4))
+        trace_cache._memory.clear()
+        # Corrupt the (rebuilt) entry a second time.
+        for path in cache_dir().glob("*.trace"):
+            path.write_text("#repro-trace 1\nsection x\ncycle zero\n",
+                            encoding="utf-8")
+        cached_trace(key, lambda: small_trace(seed=4))
+        corrupt = list(cache_dir().glob("*.corrupt"))
+        assert len(corrupt) == 1, \
+            "second quarantine should overwrite the first for one key"
+
+    def test_clear_cache_removes_quarantined_files(self):
+        key = trace_key("torn-clear", seed=5)
+        self.plant_truncated_entry(key)
+        cached_trace(key, lambda: small_trace(seed=5))
+        assert list(cache_dir().glob("*.corrupt"))
+        clear_cache()
+        assert not any(cache_dir().iterdir())
+
+    def test_missing_entry_is_not_quarantined(self):
+        """A plain miss must stay a miss: no *.corrupt files appear."""
+        key = trace_key("fresh-miss", seed=6)
+        cached_trace(key, lambda: small_trace(seed=6))
+        assert not list(cache_dir().glob("*.corrupt"))
 
 
 class TestEscapeHatch:
