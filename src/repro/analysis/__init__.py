@@ -2,9 +2,9 @@
 metrics for the Figure 5-5 phenomena, and ASCII report formatting."""
 
 from .autotune import AutotuneResult, autotune
-from .diagnostics import (Finding, diagnose, find_bottleneck_generators,
-                          find_cross_products, find_multiple_modify,
-                          find_small_cycles)
+from .diagnostics import (Finding, diagnose, diagnose_measured,
+                          find_bottleneck_generators, find_cross_products,
+                          find_multiple_modify, find_small_cycles)
 from .distribution import (BucketModel, expected_max_load, imbalance_factor,
                            prob_all_on_one, prob_perfectly_even)
 from .load import (aggregate, alternation_score, coefficient_of_variation,
@@ -13,8 +13,9 @@ from .report import bar_chart, curve_plot, format_table
 
 __all__ = [
     "AutotuneResult", "autotune",
-    "Finding", "diagnose", "find_bottleneck_generators",
-    "find_cross_products", "find_multiple_modify", "find_small_cycles",
+    "Finding", "diagnose", "diagnose_measured",
+    "find_bottleneck_generators", "find_cross_products",
+    "find_multiple_modify", "find_small_cycles",
     "BucketModel", "expected_max_load", "imbalance_factor",
     "prob_all_on_one", "prob_perfectly_even",
     "aggregate", "alternation_score", "coefficient_of_variation",

@@ -177,3 +177,62 @@ def diagnose(trace: SectionTrace) -> List[Finding]:
                 + find_multiple_modify(trace))
     return sorted(findings,
                   key=lambda f: (f.cycle_index, f.kind, f.node_id))
+
+
+#: Minimum share of measured idle time for a category to be reported.
+MEASURED_IDLE_SHARE = 0.15
+
+_MEASURED_REMEDIES = {
+    "broadcast_floor":
+        "cycles too small to amortize the serial broadcast and constant "
+        "tests; process the affected productions on a single processor "
+        "(Section 5.2.1)",
+    "chain_wait":
+        "long dependent chains starve the other processors; unshare the "
+        "generating nodes or insert dummy nodes (Section 5.2.1)",
+    "comm_overhead":
+        "per-message handling dominates the waits; reduce message "
+        "overheads or coarsen the granularity (Section 5.1)",
+    "imbalance":
+        "dominant buckets unbalance the load; apply copy-and-constraint "
+        "or the idealized greedy distribution (Sections 5.2.2 and 3.3)",
+    "protocol":
+        "protocol and fault machinery (stalls, timeouts, recoveries) "
+        "dominates; tune the retransmit protocol or fix the network",
+}
+
+
+def diagnose_measured(trace: SectionTrace, n_procs: int = 16,
+                      overheads=None) -> List[Finding]:
+    """Findings from a *measured* idle-time attribution (not heuristics).
+
+    Simulates *trace* on *n_procs* processors with a timeline recorder,
+    runs :func:`repro.mpc.attribution.attribute_timeline`, and reports
+    every idle category holding at least :data:`MEASURED_IDLE_SHARE` of
+    the measured idle time, largest first.  This is the closed loop the
+    static detectors above approximate: the simulator *measures* which
+    limiter actually dominates.
+    """
+    from ..mpc import attribute_timeline, simulate
+    from ..mpc.costmodel import TABLE_5_1
+    from ..mpc.timeline import TimelineRecorder
+    if overheads is None:
+        overheads = next(o for o in TABLE_5_1 if o.total_us == 8)
+    recorder = TimelineRecorder()
+    simulate(trace, n_procs=n_procs, overheads=overheads,
+             recorder=recorder)
+    section = attribute_timeline(recorder.timeline)
+    shares = section.idle_shares()
+    idle_by_category = section.idle_by_category()
+    findings = []
+    for category in sorted(shares, key=lambda c: -shares[c]):
+        if shares[category] < MEASURED_IDLE_SHARE:
+            continue
+        findings.append(Finding(
+            kind="measured-idle", cycle_index=-1, node_id=-1,
+            detail=f"{shares[category]:.0%} of idle time at {n_procs} "
+                   f"procs ({overheads.label()} overheads) is "
+                   f"{category} ({idle_by_category[category] / 1000:.2f} "
+                   f"ms of {section.idle_us / 1000:.2f} ms)",
+            remedy=_MEASURED_REMEDIES[category]))
+    return findings

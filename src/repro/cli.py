@@ -9,6 +9,11 @@ Commands
     ``--loss/--dup/--jitter/--fault-seed`` inject deterministic faults.
 ``fault-sweep``
     Speedup-vs-loss-rate degradation curve at one processor count.
+``profile``
+    Record a run's timeline and report idle-time attribution, an ASCII
+    Gantt chart, or export Chrome trace-event JSON / JSONL spans.
+``cache-stats``
+    Trace-cache contents (entries, quarantined files) and counters.
 ``figures``
     Regenerate paper figures (same as ``examples/paper_figures.py``).
 ``trace``
@@ -25,6 +30,9 @@ Examples
     python -m repro simulate --section rubik --procs 16 --overhead 8 \\
                              --loss 0.01 --jitter 5
     python -m repro fault-sweep --section rubik --procs 16 --overhead 8
+    python -m repro profile rubik --procs 16 --overhead 8
+    python -m repro profile rubik --procs 16 --format chrome --out t.json
+    python -m repro simulate --section weaver --procs 16 --json
     python -m repro trace --section weaver --out weaver.trace
     python -m repro simulate --trace-file weaver.trace --procs 16
     python -m repro run my_program.ops --max-cycles 100
@@ -37,6 +45,8 @@ on stderr — never a bare traceback.
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from typing import List, Optional
 
@@ -44,9 +54,12 @@ from .analysis import format_table
 from .mpc import (TABLE_5_1, FaultModel, GridPoint, ProtocolModel,
                   fault_sweep, format_degradation, run_grid,
                   set_default_workers, simulate_base, speedup)
+from .obs import configure_logging
 from .trace import (TraceFormatError, TraceValidationError, read_trace,
                     save_trace, set_cache_enabled, validate_trace)
 from .workloads import rubik_section, tourney_section, weaver_section
+
+logger = logging.getLogger(__name__)
 
 SECTIONS = {
     "rubik": rubik_section,
@@ -70,22 +83,33 @@ def _apply_perf_flags(args) -> None:
         set_default_workers(workers)
 
 
+def _read_trace_file(path):
+    try:
+        trace = read_trace(path)
+    except OSError as err:
+        raise CLIError(f"cannot read trace file {path}: "
+                       f"{err.strerror or err}") from err
+    except TraceFormatError as err:
+        raise CLIError(f"malformed trace file {path}: {err}") from err
+    try:
+        validate_trace(trace)
+    except TraceValidationError as err:
+        raise CLIError(f"invalid trace {path}: {err}") from err
+    return trace
+
+
 def _load_trace(args):
     path = getattr(args, "trace_file", None)
     if path:
-        try:
-            trace = read_trace(path)
-        except OSError as err:
-            raise CLIError(f"cannot read trace file {path}: "
-                           f"{err.strerror or err}") from err
-        except TraceFormatError as err:
-            raise CLIError(f"malformed trace file {path}: {err}") from err
-        try:
-            validate_trace(trace)
-        except TraceValidationError as err:
-            raise CLIError(f"invalid trace {path}: {err}") from err
-        return trace
+        return _read_trace_file(path)
     return SECTIONS[args.section](args.seed)
+
+
+def _overheads(args):
+    overheads = OVERHEADS.get(args.overhead)
+    if overheads is None:
+        raise CLIError(f"--overhead must be one of {sorted(OVERHEADS)}")
+    return overheads
 
 
 def _fault_model(args, loss: Optional[float] = None) -> Optional[FaultModel]:
@@ -134,15 +158,48 @@ def cmd_simulate(args) -> int:
     faults = _fault_model(args)
     protocol = _protocol(args) if faults is not None else None
     trace = _load_trace(args)
-    overheads = OVERHEADS.get(args.overhead)
-    if overheads is None:
-        raise CLIError(f"--overhead must be one of {sorted(OVERHEADS)}")
+    overheads = _overheads(args)
+    if args.timeline and len(args.procs) != 1:
+        raise CLIError("--timeline needs exactly one --procs value "
+                       f"(got {len(args.procs)})")
     base = simulate_base(trace)
-    # One grid point per processor count, fanned out over --workers.
-    points = [GridPoint(n_procs=n, overheads=overheads, faults=faults,
-                        protocol=protocol)
-              for n in args.procs]
-    runs = run_grid(trace, points, workers=getattr(args, "workers", None))
+    if args.timeline:
+        # Record the run in-process (spans cannot cross worker
+        # boundaries); bit-identical to the unrecorded fan-out.
+        from .mpc import TimelineRecorder, simulate, write_chrome_trace
+        recorder = TimelineRecorder()
+        runs = [simulate(trace, n_procs=args.procs[0],
+                         overheads=overheads, faults=faults,
+                         protocol=protocol, recorder=recorder)]
+        write_chrome_trace(recorder.timeline, args.timeline)
+    else:
+        # One grid point per processor count, fanned out over --workers.
+        points = [GridPoint(n_procs=n, overheads=overheads, faults=faults,
+                            protocol=protocol)
+                  for n in args.procs]
+        runs = run_grid(trace, points,
+                        workers=getattr(args, "workers", None))
+    if args.json:
+        payload = {
+            "trace": trace.name,
+            "overheads_us": overheads.total_us,
+            "base_total_us": base.total_us,
+            "faults": None if faults is None else {
+                "seed": faults.seed, "loss_prob": faults.loss_prob,
+                "dup_prob": faults.dup_prob,
+                "jitter_us": faults.jitter_us},
+            "points": [{
+                "n_procs": n_procs,
+                "total_us": run.total_us,
+                "speedup": speedup(base, run),
+                "n_messages": run.n_messages,
+                "network_idle_fraction": run.network_idle_fraction(),
+                "retransmits": run.retransmits,
+                "duplicate_drops": run.duplicate_drops,
+            } for n_procs, run in zip(args.procs, runs)],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     headers = ["procs", "time (ms)", "speedup", "messages", "net idle"]
     if faults is not None:
         headers += ["retransmits", "dup drops"]
@@ -162,6 +219,9 @@ def cmd_simulate(args) -> int:
                   f"dup={faults.dup_prob:g} jitter={faults.jitter_us:g}us "
                   f"seed={faults.seed}")
     print(format_table(headers, rows, title=title))
+    if args.timeline:
+        print(f"timeline written to {args.timeline} "
+              f"(load in https://ui.perfetto.dev)")
     return 0
 
 
@@ -182,27 +242,140 @@ def cmd_fault_sweep(args) -> int:
                         dup_prob=args.dup, jitter_us=args.jitter,
                         protocol=protocol,
                         workers=getattr(args, "workers", None))
-    print(format_degradation(
-        curve,
-        title=f"{trace.name}@{args.procs} procs, overheads "
-              f"{overheads.label()}, seed {args.fault_seed}: "
-              f"speedup degradation vs message-loss rate"))
+    if args.timeline:
+        # Record the worst point of the sweep (highest loss rate).
+        from .mpc import TimelineRecorder, simulate, write_chrome_trace
+        worst = max(args.loss)
+        recorder = TimelineRecorder()
+        simulate(trace, n_procs=args.procs, overheads=overheads,
+                 faults=_fault_model(args, loss=worst),
+                 protocol=protocol, recorder=recorder)
+        write_chrome_trace(recorder.timeline, args.timeline)
+    if args.json:
+        print(json.dumps({
+            "trace": trace.name,
+            "n_procs": args.procs,
+            "overheads_us": overheads.total_us,
+            "seed": args.fault_seed,
+            "loss_rates": curve.loss_rates,
+            "speedups": curve.speedups,
+            "degradation": [curve.degradation(i)
+                            for i in range(len(curve.speedups))],
+            "monotone": curve.is_monotone(),
+        }, indent=2))
+    else:
+        print(format_degradation(
+            curve,
+            title=f"{trace.name}@{args.procs} procs, overheads "
+                  f"{overheads.label()}, seed {args.fault_seed}: "
+                  f"speedup degradation vs message-loss rate"))
+        if args.timeline:
+            print(f"timeline (loss {max(args.loss):g}) written to "
+                  f"{args.timeline}")
     if not curve.is_monotone():
-        print("warning: degradation curve is not monotone",
-              file=sys.stderr)
+        logger.warning("degradation curve is not monotone")
     return 0
 
 
 def cmd_diagnose(args) -> int:
-    from .analysis import diagnose
+    from .analysis import diagnose, diagnose_measured
+    _check_procs(args.procs)
     trace = _load_trace(args)
     findings = diagnose(trace)
+    findings += diagnose_measured(trace, n_procs=args.procs,
+                                  overheads=_overheads(args))
     if not findings:
         print(f"{trace.name}: no speedup limiters detected")
         return 0
     print(f"{trace.name}: {len(findings)} finding(s)")
     for finding in findings:
         print(f"  {finding}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .mpc import (TimelineRecorder, attribute_timeline,
+                      format_attribution, gantt_section, simulate,
+                      write_chrome_trace, write_timeline_jsonl)
+    _check_procs(args.procs)
+    if args.target in SECTIONS:
+        trace = SECTIONS[args.target](args.seed)
+    else:
+        trace = _read_trace_file(args.target)
+    overheads = _overheads(args)
+    faults = _fault_model(args)
+    protocol = _protocol(args) if faults is not None else None
+    recorder = TimelineRecorder()
+    simulate(trace, n_procs=args.procs, overheads=overheads,
+             faults=faults, protocol=protocol, recorder=recorder)
+    timeline = recorder.timeline
+    if args.format == "chrome":
+        out = args.out or f"{trace.name}-{args.procs}p.trace.json"
+        write_chrome_trace(timeline, out)
+        print(f"wrote Chrome trace with "
+              f"{sum(len(c.spans) for c in timeline.cycles)} spans over "
+              f"{len(timeline.cycles)} cycles to {out} "
+              f"(load in https://ui.perfetto.dev)")
+        return 0
+    if args.format == "jsonl":
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as stream:
+                n = write_timeline_jsonl(timeline, stream)
+            print(f"wrote {n} spans to {args.out}")
+        else:
+            write_timeline_jsonl(timeline, sys.stdout)
+        return 0
+    section = attribute_timeline(timeline)
+    if args.format == "json":
+        text = json.dumps(section.to_dict(), indent=2)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as stream:
+                stream.write(text + "\n")
+            print(f"wrote attribution to {args.out}")
+        else:
+            print(text)
+        return 0
+    title = (f"{trace.name} @{args.procs} procs, overheads "
+             f"{overheads.label()}")
+    if faults is not None:
+        title += (f", faults loss={faults.loss_prob:g} "
+                  f"dup={faults.dup_prob:g} seed={faults.seed}")
+    print(format_attribution(section, title=title))
+    print()
+    print(gantt_section(timeline, width=args.width,
+                        cycles=args.cycle or None))
+    return 0
+
+
+def cmd_cache_stats(args) -> int:
+    from .trace import cache_dir, cache_enabled, cache_stats, \
+        format_cache_stats
+    directory = cache_dir()
+    entries = sorted(directory.glob("*.trace")) \
+        if directory.is_dir() else []
+    corrupt = sorted(directory.glob("*.trace.corrupt")) \
+        if directory.is_dir() else []
+    total_bytes = 0
+    for path in entries:
+        try:
+            total_bytes += path.stat().st_size
+        except OSError:
+            pass
+    if args.json:
+        print(json.dumps({
+            "dir": str(directory),
+            "enabled": cache_enabled(),
+            "entries": len(entries),
+            "bytes": total_bytes,
+            "quarantined": len(corrupt),
+            "counters": cache_stats(),
+        }, indent=2))
+        return 0
+    print(f"cache dir: {directory}")
+    print(f"enabled: {cache_enabled()}")
+    print(f"entries: {len(entries)} ({total_bytes / 1024:.1f} KiB)")
+    print(f"quarantined: {len(corrupt)}")
+    print(f"this process: {format_cache_stats()}")
     return 0
 
 
@@ -313,8 +486,17 @@ def build_parser() -> argparse.ArgumentParser:
              "them from the on-disk trace cache (equivalent to "
              "REPRO_TRACE_CACHE=0)")
 
+    # Shared logging verbosity (routed through repro.obs.logging).
+    verb = argparse.ArgumentParser(add_help=False)
+    verb.add_argument(
+        "-v", dest="verbosity", action="count", default=0,
+        help="log progress to stderr (-v = INFO, -vv = DEBUG)")
+    verb.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress warnings (errors only)")
+
     p = sub.add_parser("sections", help="Table 5-2 statistics",
-                       parents=[perf])
+                       parents=[perf, verb])
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_sections)
 
@@ -339,7 +521,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 8)")
 
     p = sub.add_parser("simulate", help="simulate a section on an MPC",
-                       parents=[perf, fault])
+                       parents=[perf, fault, verb])
     group = p.add_mutually_exclusive_group()
     group.add_argument("--section", choices=sorted(SECTIONS),
                        default="rubik")
@@ -353,11 +535,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-message loss probability in [0, 1] "
                         "(default 0 = the paper's perfect network)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="print machine-readable JSON instead of a table")
+    p.add_argument("--timeline", metavar="PATH",
+                   help="record the run and write a Chrome trace-event "
+                        "file here (needs exactly one --procs value)")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("fault-sweep",
                        help="speedup degradation vs message-loss rate",
-                       parents=[perf, fault])
+                       parents=[perf, fault, verb])
     group = p.add_mutually_exclusive_group()
     group.add_argument("--section", choices=sorted(SECTIONS),
                        default="rubik")
@@ -371,21 +558,72 @@ def build_parser() -> argparse.ArgumentParser:
                    help="total message overhead in us "
                         "(a Table 5-1 row: 0, 8, 16 or 32; default 8)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="print machine-readable JSON instead of a table")
+    p.add_argument("--timeline", metavar="PATH",
+                   help="record the worst (highest-loss) point and "
+                        "write a Chrome trace-event file here")
     p.set_defaults(fn=cmd_fault_sweep)
+
+    p = sub.add_parser("profile",
+                       help="record a run and report its timeline: "
+                            "idle-time attribution, Gantt chart, "
+                            "Chrome trace export",
+                       parents=[fault, verb])
+    p.add_argument("target",
+                   help="section name (%s) or a saved trace file"
+                        % "/".join(sorted(SECTIONS)))
+    p.add_argument("--procs", type=int, default=16)
+    p.add_argument("--overhead", type=int, default=8,
+                   help="total message overhead in us "
+                        "(a Table 5-1 row: 0, 8, 16 or 32; default 8)")
+    p.add_argument("--loss", type=float, default=0.0, metavar="P",
+                   help="per-message loss probability in [0, 1] "
+                        "(default 0)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--format", choices=["table", "chrome", "jsonl",
+                                        "json"],
+                   default="table",
+                   help="table = attribution + Gantt (default); chrome "
+                        "= Perfetto-loadable trace-event JSON; jsonl = "
+                        "one JSON object per span; json = attribution "
+                        "summary")
+    p.add_argument("--out", metavar="PATH",
+                   help="output file (chrome default: "
+                        "<trace>-<procs>p.trace.json; jsonl/json "
+                        "default: stdout)")
+    p.add_argument("--cycle", type=int, nargs="+", metavar="N",
+                   help="cycle indices to chart (default: the longest)")
+    p.add_argument("--width", type=int, default=72,
+                   help="Gantt chart width in columns (default 72)")
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("cache-stats",
+                       help="trace-cache contents and counters",
+                       parents=[verb])
+    p.add_argument("--json", action="store_true",
+                   help="print machine-readable JSON")
+    p.set_defaults(fn=cmd_cache_stats)
 
     p = sub.add_parser("diagnose",
                        help="detect speedup limiters in a trace "
                             "(Section 5.2 methodology)",
-                       parents=[perf])
+                       parents=[perf, verb])
     group = p.add_mutually_exclusive_group()
     group.add_argument("--section", choices=sorted(SECTIONS),
                        default="tourney")
     group.add_argument("--trace-file")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--procs", type=int, default=16,
+                   help="processor count for the measured idle-time "
+                        "attribution (default 16)")
+    p.add_argument("--overhead", type=int, default=8,
+                   help="overhead setting for the measured attribution "
+                        "(default 8)")
     p.set_defaults(fn=cmd_diagnose)
 
     p = sub.add_parser("trace", help="write a section trace to a file",
-                       parents=[perf])
+                       parents=[perf, verb])
     p.add_argument("--section", choices=sorted(SECTIONS),
                    default="rubik")
     p.add_argument("--out", required=True)
@@ -395,7 +633,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("autotune",
                        help="apply the Section 5.2 remedies "
                             "automatically",
-                       parents=[perf])
+                       parents=[perf, verb])
     group = p.add_mutually_exclusive_group()
     group.add_argument("--section", choices=sorted(SECTIONS),
                        default="tourney")
@@ -406,7 +644,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_autotune)
 
     p = sub.add_parser("generate",
-                       help="synthesize a custom section trace")
+                       help="synthesize a custom section trace",
+                       parents=[verb])
     p.add_argument("--name", default="custom")
     p.add_argument("--cycles", type=int, default=4)
     p.add_argument("--right", type=int, default=1000,
@@ -423,15 +662,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_generate)
 
     p = sub.add_parser("figures", help="regenerate paper figures",
-                       parents=[perf])
+                       parents=[perf, verb])
     p.add_argument("names", nargs="*",
                    help="figure ids (default: all)")
     p.set_defaults(fn=cmd_figures)
 
-    p = sub.add_parser("run", help="execute an OPS5 source file")
+    p = sub.add_parser("run", help="execute an OPS5 source file",
+                       parents=[verb])
     p.add_argument("source")
     p.add_argument("--max-cycles", type=int, default=10_000)
-    p.add_argument("--verbose", action="store_true")
+    p.add_argument("--verbose", action="store_true",
+                   help="list every production firing")
     p.set_defaults(fn=cmd_run)
 
     return parser
@@ -439,6 +680,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(verbose=getattr(args, "verbosity", 0),
+                      quiet=getattr(args, "quiet", False))
     _apply_perf_flags(args)
     try:
         return args.fn(args)

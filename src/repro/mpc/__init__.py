@@ -31,6 +31,15 @@ from .simulator import (BucketWorkCache, GreedyMappingFactory, bucket_work,
                         compute_search_costs, simulate, simulate_base)
 from .termination import (TerminationScheme, apply_termination,
                           detection_delay, termination_overhead_fraction)
+from .timeline import (CATEGORIES, CONTROL, GANTT_LEGEND, NETWORK,
+                       CycleTimeline, Envelope, Span, Timeline,
+                       TimelineRecorder, chrome_trace, gantt, gantt_section,
+                       timeline_jsonl, write_chrome_trace,
+                       write_timeline_jsonl)
+from .attribution import (IDLE_CATEGORIES, CycleAttribution,
+                          SectionAttribution, attribute_cycle,
+                          attribute_timeline, critical_path,
+                          format_attribution)
 from .sweep import (DEFAULT_LOSS_RATES, DEFAULT_PROC_COUNTS,
                     DegradationCurve, SpeedupCurve, fault_sweep,
                     format_curves, format_degradation, overhead_sweep,
@@ -58,4 +67,11 @@ __all__ = [
     "simulate_dedicated_alpha",
     "TerminationScheme", "apply_termination", "detection_delay",
     "termination_overhead_fraction",
+    "CATEGORIES", "CONTROL", "GANTT_LEGEND", "NETWORK", "CycleTimeline",
+    "Envelope", "Span", "Timeline", "TimelineRecorder", "chrome_trace",
+    "gantt", "gantt_section", "timeline_jsonl", "write_chrome_trace",
+    "write_timeline_jsonl",
+    "IDLE_CATEGORIES", "CycleAttribution", "SectionAttribution",
+    "attribute_cycle", "attribute_timeline", "critical_path",
+    "format_attribution",
 ]

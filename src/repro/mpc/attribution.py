@@ -1,0 +1,360 @@
+"""Idle-time attribution: decompose *why* processors wait (Section 5).
+
+The paper explains saturating speedups with a handful of limiters:
+cycles too small to amortize the serial broadcast + constant-test
+floor, long dependent chains that starve successor generation, dominant
+hash buckets that unbalance the load, and per-message handling
+overhead.  This module turns a recorded :class:`~repro.mpc.timeline
+.Timeline` into exactly that decomposition: every idle microsecond of
+every processor in every cycle is assigned to one category, and the
+categories sum — exactly, with the paper's 0.5 µs-granular cost models
+— to the measured idle time (``n_procs * makespan - sum(proc_busy)``).
+
+Categories
+----------
+``broadcast_floor``
+    Waiting for the cycle's wme packet: the serial broadcast the paper's
+    Section 5.2.1 "small cycles" analysis charges against every cycle.
+``chain_wait``
+    Mid-cycle waiting for a predecessor activation elsewhere to finish —
+    the long-dependent-chain limiter.
+``comm_overhead``
+    The slice of a mid-cycle wait equal to the delivery delay (send
+    overhead + latency + jitter) of the message that ended it: time the
+    data existed but was in the message machinery.
+``imbalance``
+    Done early while another processor still works — the dominant-bucket
+    / load-imbalance limiter (tail of the cycle).
+``protocol``
+    Stall and recovery windows, and retransmit-timeout waiting, from the
+    fault/protocol layer (zero on the paper's perfect network).
+
+Each cycle also reports its **busy composition** (time per span
+category) — small cycles show up as a large ``constant_tests`` share of
+busy time, message-handling overhead as large ``send``/``recv``
+shares — and its **critical path**: the chain of activations, walked
+by parent links from the last-finishing activation, that determined
+the cycle's makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .timeline import (CycleTimeline, Envelope, Timeline)
+
+#: The idle-time categories, in report order.
+IDLE_CATEGORIES = ("broadcast_floor", "chain_wait", "comm_overhead",
+                   "imbalance", "protocol")
+
+_CATEGORY_LABELS = {
+    "broadcast_floor": "broadcast + constant-test floor wait",
+    "chain_wait": "long-chain wait (predecessor elsewhere)",
+    "comm_overhead": "message delivery (send+latency) wait",
+    "imbalance": "bucket imbalance (done early)",
+    "protocol": "protocol/fault (stall, recovery, timeouts)",
+}
+
+
+@dataclass(slots=True)
+class CycleAttribution:
+    """One cycle's idle decomposition, busy composition, critical path."""
+
+    index: int
+    makespan_us: float
+    n_procs: int
+    idle_us: float
+    idle_by_category: Dict[str, float]
+    busy_us: float
+    busy_by_category: Dict[str, float]
+    per_proc_idle_us: List[float]
+    critical_path: List[Envelope]
+
+    def check_sums(self, *, exact: bool = True,
+                   rel_tol: float = 1e-9) -> None:
+        """Assert the categories partition the measured idle time."""
+        total = sum(self.idle_by_category.values())
+        if exact:
+            ok = total == self.idle_us
+        else:
+            ok = abs(total - self.idle_us) <= \
+                rel_tol * max(1.0, self.idle_us)
+        if not ok:
+            raise ValueError(
+                f"cycle {self.index}: categories sum to {total!r}, "
+                f"measured idle is {self.idle_us!r}")
+
+
+@dataclass(slots=True)
+class SectionAttribution:
+    """Whole-section aggregation of per-cycle attributions."""
+
+    trace_name: str
+    n_procs: int
+    cycles: List[CycleAttribution] = field(default_factory=list)
+
+    @property
+    def idle_us(self) -> float:
+        return sum(c.idle_us for c in self.cycles)
+
+    @property
+    def busy_us(self) -> float:
+        return sum(c.busy_us for c in self.cycles)
+
+    def idle_by_category(self) -> Dict[str, float]:
+        totals = {category: 0.0 for category in IDLE_CATEGORIES}
+        for cycle in self.cycles:
+            for category, value in cycle.idle_by_category.items():
+                totals[category] += value
+        return totals
+
+    def busy_by_category(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for cycle in self.cycles:
+            for category, value in cycle.busy_by_category.items():
+                totals[category] = totals.get(category, 0.0) + value
+        return totals
+
+    def idle_shares(self) -> Dict[str, float]:
+        """Category -> fraction of total idle time (sums to 1)."""
+        idle = self.idle_us
+        if idle <= 0:
+            return {category: 0.0 for category in IDLE_CATEGORIES}
+        return {category: value / idle
+                for category, value in self.idle_by_category().items()}
+
+    def dominant_category(self) -> str:
+        shares = self.idle_shares()
+        return max(IDLE_CATEGORIES, key=lambda c: shares[c])
+
+    def average_idle_fraction(self) -> float:
+        capacity = self.idle_us + self.busy_us
+        return self.idle_us / capacity if capacity > 0 else 0.0
+
+    def longest_cycle(self) -> CycleAttribution:
+        if not self.cycles:
+            raise ValueError("empty attribution")
+        return max(self.cycles, key=lambda c: c.makespan_us)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (the ``profile --format json`` payload)."""
+        longest = self.longest_cycle() if self.cycles else None
+        return {
+            "trace": self.trace_name,
+            "n_procs": self.n_procs,
+            "n_cycles": len(self.cycles),
+            "idle_us": self.idle_us,
+            "busy_us": self.busy_us,
+            "average_idle_fraction": self.average_idle_fraction(),
+            "idle_by_category_us": self.idle_by_category(),
+            "idle_shares": self.idle_shares(),
+            "busy_by_category_us": self.busy_by_category(),
+            "longest_cycle": None if longest is None else {
+                "index": longest.index,
+                "makespan_us": longest.makespan_us,
+                "critical_path": [
+                    {"act_id": e.act_id, "proc": e.proc,
+                     "start_us": e.start_us, "end_us": e.end_us,
+                     "via_message": e.via_message}
+                    for e in longest.critical_path],
+            },
+        }
+
+
+def _merge_busy_intervals(
+        intervals: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Coalesce sorted, possibly touching/overlapping busy intervals."""
+    merged: List[Tuple[float, float]] = []
+    for start, end in intervals:
+        if merged and start <= merged[-1][1]:
+            if end > merged[-1][1]:
+                merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _overlap(a0: float, a1: float,
+             windows: List[Tuple[float, float]]) -> float:
+    """Total overlap of [a0, a1) with a list of intervals."""
+    total = 0.0
+    for w0, w1 in windows:
+        lo = a0 if a0 > w0 else w0
+        hi = a1 if a1 < w1 else w1
+        if hi > lo:
+            total += hi - lo
+    return total
+
+
+def attribute_cycle(cycle: CycleTimeline) -> CycleAttribution:
+    """Decompose one cycle's idle time into the limiter categories."""
+    makespan = cycle.makespan_us
+    idle_by_category = {category: 0.0 for category in IDLE_CATEGORIES}
+    busy_by_category: Dict[str, float] = {}
+    per_proc_idle: List[float] = []
+
+    # Per-processor structures: busy intervals, stall windows, and the
+    # envelope starting at each instant (to classify the wait before it).
+    busy_spans: List[List[Tuple[float, float]]] = \
+        [[] for _ in range(cycle.n_procs)]
+    stall_spans: List[List[Tuple[float, float]]] = \
+        [[] for _ in range(cycle.n_procs)]
+    for span in cycle.spans:
+        if span.proc >= 0:
+            if span.is_busy:
+                busy_spans[span.proc].append((span.start_us, span.end_us))
+                busy_by_category[span.category] = \
+                    busy_by_category.get(span.category, 0.0) \
+                    + (span.end_us - span.start_us)
+            else:
+                stall_spans[span.proc].append((span.start_us,
+                                               span.end_us))
+    env_at: List[Dict[float, Envelope]] = \
+        [{} for _ in range(cycle.n_procs)]
+    for envelope in cycle.envelopes:
+        env_at[envelope.proc][envelope.start_us] = envelope
+
+    for p in range(cycle.n_procs):
+        intervals = _merge_busy_intervals(sorted(busy_spans[p]))
+        stalls = stall_spans[p]
+        proc_idle = 0.0
+
+        def classify(gap_start: float, gap_end: float,
+                     tail: bool) -> None:
+            nonlocal proc_idle
+            remaining = gap_end - gap_start
+            if remaining <= 0:
+                return
+            proc_idle += remaining
+            # 1. Protocol: explicit stall/recovery windows in the gap.
+            stalled = _overlap(gap_start, gap_end, stalls)
+            if stalled > 0:
+                stalled = min(stalled, remaining)
+                idle_by_category["protocol"] += stalled
+                remaining -= stalled
+                if remaining <= 0:
+                    return
+            if tail:
+                idle_by_category["imbalance"] += remaining
+                return
+            if gap_start == 0.0:
+                # Before the first busy instant: broadcast in flight.
+                idle_by_category["broadcast_floor"] += remaining
+                return
+            envelope = env_at[p].get(gap_end)
+            if envelope is not None and envelope.via_message:
+                # 2. Protocol: retransmit-timeout share of the delivery.
+                wait = min(remaining, envelope.wait_protocol_us)
+                if wait > 0:
+                    idle_by_category["protocol"] += wait
+                    remaining -= wait
+                # 3. Pure communication share of the delivery.
+                comm = min(remaining, envelope.wait_comm_us)
+                if comm > 0:
+                    idle_by_category["comm_overhead"] += comm
+                    remaining -= comm
+            # 4. Whatever is left: waiting on upstream computation.
+            if remaining > 0:
+                idle_by_category["chain_wait"] += remaining
+
+        cursor = 0.0
+        for start, end in intervals:
+            classify(cursor, start, tail=False)
+            cursor = end
+        classify(cursor, makespan, tail=True)
+        per_proc_idle.append(proc_idle)
+
+    busy_total = sum(end - start
+                     for spans in busy_spans
+                     for start, end in spans)
+    return CycleAttribution(
+        index=cycle.index, makespan_us=makespan, n_procs=cycle.n_procs,
+        idle_us=sum(per_proc_idle),
+        idle_by_category=idle_by_category,
+        busy_us=busy_total,
+        busy_by_category=busy_by_category,
+        per_proc_idle_us=per_proc_idle,
+        critical_path=critical_path(cycle))
+
+
+def critical_path(cycle: CycleTimeline) -> List[Envelope]:
+    """The parent chain ending at the last-finishing activation.
+
+    Walks ``parent_id`` links backwards from the envelope with the
+    latest end time; the result is in causal (root-first) order.  This
+    is the data-dependence spine of the cycle — the sequence whose
+    serial length bounds how fast any number of processors could have
+    finished it.
+    """
+    if not cycle.envelopes:
+        return []
+    by_act: Dict[int, Envelope] = \
+        {e.act_id: e for e in cycle.envelopes}
+    last = max(cycle.envelopes, key=lambda e: (e.end_us, e.act_id))
+    chain: List[Envelope] = []
+    cursor: Optional[Envelope] = last
+    while cursor is not None:
+        chain.append(cursor)
+        parent = cursor.parent_id
+        cursor = by_act.get(parent) if parent is not None else None
+    chain.reverse()
+    return chain
+
+
+def attribute_timeline(timeline: Timeline) -> SectionAttribution:
+    """Attribution of every cycle of a recorded timeline."""
+    section = SectionAttribution(trace_name=timeline.trace_name,
+                                 n_procs=timeline.n_procs)
+    for cycle in timeline.cycles:
+        section.cycles.append(attribute_cycle(cycle))
+    return section
+
+
+# ---------------------------------------------------------------------------
+# Report formatting
+# ---------------------------------------------------------------------------
+
+def format_attribution(section: SectionAttribution,
+                       title: str = "") -> str:
+    """ASCII attribution report: idle table, busy mix, critical path."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    idle = section.idle_us
+    shares = section.idle_shares()
+    by_category = section.idle_by_category()
+    lines.append(
+        f"idle time: {idle / 1000:.2f} ms across "
+        f"{section.n_procs} procs x {len(section.cycles)} cycles "
+        f"({section.average_idle_fraction():.1%} of capacity)")
+    width = max(len(label) for label in _CATEGORY_LABELS.values())
+    for category in IDLE_CATEGORIES:
+        label = _CATEGORY_LABELS[category].ljust(width)
+        bar = "#" * int(round(30 * shares[category]))
+        lines.append(f"  {label}  {by_category[category] / 1000:>9.2f} ms"
+                     f"  {shares[category]:>6.1%}  {bar}")
+    busy = section.busy_by_category()
+    busy_total = sum(busy.values())
+    if busy_total > 0:
+        mix = ", ".join(
+            f"{category} {value / busy_total:.0%}"
+            for category, value in sorted(busy.items(),
+                                          key=lambda kv: -kv[1]))
+        lines.append(f"busy mix: {mix}")
+    if section.cycles:
+        longest = section.longest_cycle()
+        path = longest.critical_path
+        lines.append(
+            f"critical path (cycle {longest.index}, the longest at "
+            f"{longest.makespan_us / 1000:.2f} ms): "
+            f"{len(path)} activation(s)")
+        if path:
+            hops = " -> ".join(
+                f"act {e.act_id}@p{e.proc}"
+                + ("*" if e.via_message else "")
+                for e in path[:8])
+            if len(path) > 8:
+                hops += f" -> ... ({len(path) - 8} more)"
+            lines.append(f"  {hops}   (* = arrived by message)")
+    return "\n".join(lines)

@@ -293,13 +293,20 @@ def simulate_cycle_with_faults(
         cycle: CycleTrace, n_procs: int, costs: CostModel,
         overheads: OverheadModel, mapping: BucketMapping,
         faults: FaultModel, protocol: ProtocolModel,
-        search_costs: Optional[Dict[int, float]] = None) -> CycleResult:
+        search_costs: Optional[Dict[int, float]] = None,
+        recorder: Optional["TimelineRecorder"] = None) -> CycleResult:
     """One cycle of the Section 3.2 mapping under *faults* + *protocol*.
 
     Structured exactly like the optimized loop in
     :mod:`repro.mpc.simulator`, with three insertions: delivery plans
     (loss/retry/duplication/jitter) for every data message, ack
     accounting on both ends, and processor stall/recovery windows.
+
+    With a :class:`~repro.mpc.timeline.TimelineRecorder` the same loop
+    also emits typed spans — including the protocol machinery (acks,
+    retransmissions, timeout waits) and stall windows — without
+    touching any timing arithmetic, so recorded results stay
+    bit-identical to unrecorded ones.
     """
     send_us = overheads.send_us
     recv_us = overheads.recv_us
@@ -310,6 +317,52 @@ def simulate_cycle_with_faults(
     acts = cycle.activations
     get_extra = (search_costs or {}).get
     cycle_index = cycle.index
+
+    record = recorder is not None
+    if record:
+        from .timeline import (CAT_ACK, CAT_BROADCAST, CAT_CONSTANT_TESTS,
+                               CAT_RECV, CAT_RETRANSMIT, CAT_SEND,
+                               CAT_STALL, CAT_SUCCESSOR, CAT_TIMEOUT_WAIT,
+                               CAT_TOKEN_ADD, CAT_TOKEN_DELETE,
+                               CAT_TRANSIT, CONTROL, NETWORK,
+                               CycleTimeline, Envelope, Span)
+        spans: List["Span"] = []
+        envelopes: List["Envelope"] = []
+        add_span = spans.append
+        add_envelope = envelopes.append
+
+        def record_sender_side(proc: int, depart_base: float,
+                               plan: DeliveryPlan, msg_id: int) -> None:
+            """Sender busy spans: one send per attempt, one ack receipt."""
+            s = depart_base
+            for attempt in range(plan.attempts):
+                add_span(Span(CAT_SEND if attempt == 0 else CAT_RETRANSMIT,
+                              proc, s, s + send_us, msg_id))
+                s += send_us
+            add_span(Span(CAT_ACK, proc, s, s + recv_us, msg_id))
+
+        def record_data_transits(depart_base: float, arrive: float,
+                                 plan: DeliveryPlan, msg_id: int) -> None:
+            """Network occupancy of every data copy, plus timeout waits."""
+            first_wire = depart_base + send_us
+            if plan.timeout_wait_us > 0:
+                add_span(Span(CAT_TIMEOUT_WAIT, NETWORK, first_wire,
+                              first_wire + plan.timeout_wait_us, msg_id))
+            for _ in range(plan.retransmits):  # the lost copies
+                add_span(Span(CAT_RETRANSMIT, NETWORK, first_wire,
+                              first_wire + latency_us, msg_id))
+            add_span(Span(CAT_TRANSIT, NETWORK,
+                          arrive - (latency_us + plan.jitter_us), arrive,
+                          msg_id))
+            for _ in range(plan.duplicates):
+                add_span(Span(CAT_TRANSIT, NETWORK, arrive - latency_us,
+                              arrive, msg_id))
+
+        def record_ack_transits(after: float, copies: int,
+                                msg_id: int) -> None:
+            for _ in range(copies):
+                add_span(Span(CAT_ACK, NETWORK, after, after + latency_us,
+                              msg_id))
 
     # Fault-model state for this cycle.
     windows = faults.windows_for_cycle(cycle_index, n_procs)
@@ -347,12 +400,23 @@ def simulate_cycle_with_faults(
     match_start = send_us + latency_us + recv_us
     network_busy = latency_us if n_procs > 0 else 0.0
     n_messages = 1  # the broadcast packet
+    if record:
+        add_span(Span(CAT_BROADCAST, CONTROL, 0.0, send_us))
+        if n_procs > 0:
+            add_span(Span(CAT_TRANSIT, NETWORK, send_us,
+                          send_us + latency_us))
 
     # --- step 2: constant tests, start pushed past stall windows -----------
     ready = []
     for p in range(n_procs):
         start = past_stalls(p, match_start)
         stall_us += start - match_start
+        if record:
+            add_span(Span(CAT_RECV, p, send_us + latency_us, match_start))
+            if start > match_start:
+                add_span(Span(CAT_STALL, p, match_start, start))
+            add_span(Span(CAT_CONSTANT_TESTS, p, start,
+                          start + costs.constant_tests_us))
         ready.append(start + costs.constant_tests_us)
     busy = [recv_us + costs.constant_tests_us] * n_procs
     activations = [0] * n_procs
@@ -365,7 +429,8 @@ def simulate_cycle_with_faults(
     control_arrivals: List[float] = []
     control_ready = control_busy  # control is busy until broadcast sent
 
-    def send_to_control(depart_base: float, msg_id: int) -> float:
+    def send_to_control(depart_base: float, msg_id: int,
+                        sender: int) -> float:
         """Reliable-protocol instantiation send; returns the sender's
         time after all send-side protocol costs."""
         nonlocal control_busy, control_ready, network_busy, n_messages
@@ -386,10 +451,20 @@ def simulate_cycle_with_faults(
             + latency_us + plan.jitter_us
         # Control: FIFO receipt of every copy, one ack send per copy.
         per_copy = recv_us + send_us
-        control_ready = max(control_ready, arrive) \
-            + per_copy * (1 + plan.duplicates)
+        begin = max(control_ready, arrive)
+        control_ready = begin + per_copy * (1 + plan.duplicates)
         control_busy += per_copy * (1 + plan.duplicates)
         control_arrivals.append(control_ready)
+        if record:
+            record_sender_side(sender, depart_base, plan, msg_id)
+            record_data_transits(depart_base, arrive, plan, msg_id)
+            b = begin
+            for _ in range(1 + plan.duplicates):
+                add_span(Span(CAT_RECV, CONTROL, b, b + recv_us, msg_id))
+                add_span(Span(CAT_ACK, CONTROL, b + recv_us,
+                              b + recv_us + send_us, msg_id))
+                b += per_copy
+            record_ack_transits(b, 1 + plan.duplicates, msg_id)
         return t
 
     for root in cycle.roots():
@@ -397,7 +472,12 @@ def simulate_cycle_with_faults(
         if root.kind == KIND_TERMINAL:
             start = past_stalls(owner, ready[owner])
             stall_us += start - ready[owner]
-            t = send_to_control(start, root.act_id)
+            if record and start > ready[owner]:
+                add_span(Span(CAT_STALL, owner, ready[owner], start))
+            t = send_to_control(start, root.act_id, owner)
+            if record:
+                add_envelope(Envelope(root.act_id, None, owner, start,
+                                      t, False))
             busy[owner] += t - start
             ready[owner] = t
             continue
@@ -411,25 +491,48 @@ def simulate_cycle_with_faults(
         start = proc_ready if proc_ready > arrival else arrival
         stalled = past_stalls(p, start)
         stall_us += stalled - start
+        if record and stalled > start:
+            add_span(Span(CAT_STALL, p, start, stalled))
         start = stalled
         t = start
+        env_wait_comm = 0.0
+        env_wait_protocol = 0.0
         if via_message:
             # Receive the data copy, ack it; drop + ack any duplicate.
             plan = plan_delivery(faults, protocol, cycle_index, act.act_id)
             t += (recv_us + send_us) * (1 + plan.duplicates)
+            if record:
+                env_wait_comm = send_us + latency_us + plan.jitter_us
+                env_wait_protocol = plan.timeout_wait_us
+                b = start
+                for _ in range(1 + plan.duplicates):
+                    add_span(Span(CAT_RECV, p, b, b + recv_us,
+                                  act.act_id))
+                    add_span(Span(CAT_ACK, p, b + recv_us,
+                                  b + recv_us + send_us, act.act_id))
+                    b += recv_us + send_us
+                record_ack_transits(b, 1 + plan.duplicates, act.act_id)
+        token_start = t
         t += left_us if act.side == LEFT else right_us
         extra = get_extra(act.act_id)
         if extra is not None:
             t += extra
+        if record:
+            add_span(Span(CAT_TOKEN_ADD if act.tag == "+" else
+                          CAT_TOKEN_DELETE, p, token_start, t,
+                          act.act_id))
         activations[p] += 1
         if act.side == LEFT:
             left_activations[p] += 1
 
         for succ_id in act.successors:
             succ = acts[succ_id]
+            gen_start = t
             t += successor_us
+            if record:
+                add_span(Span(CAT_SUCCESSOR, p, gen_start, t, succ_id))
             if succ.kind == KIND_TERMINAL:
-                t = send_to_control(t, succ_id)
+                t = send_to_control(t, succ_id, p)
                 continue
             dest = dest_of[succ_id]
             seq += 1
@@ -448,15 +551,27 @@ def simulate_cycle_with_faults(
                     + plan.jitter_us
                 arrive = t + send_us + plan.timeout_wait_us \
                     + latency_us + plan.jitter_us
+                if record:
+                    record_sender_side(p, t, plan, succ_id)
+                    record_data_transits(t, arrive, plan, succ_id)
                 # Sender: send per attempt, then the ack receipt.
                 t += send_us * plan.attempts + recv_us
                 heappush(queue, (arrive, seq, dest, True, succ))
 
+        if record:
+            add_envelope(Envelope(act.act_id, act.parent_id, p, start, t,
+                                  via_message,
+                                  wait_comm_us=env_wait_comm,
+                                  wait_protocol_us=env_wait_protocol))
         busy[p] += t - start
         ready[p] = t
 
     makespan = max([match_start + costs.constant_tests_us]
                    + ready + control_arrivals)
+    if record:
+        recorder.add_cycle(CycleTimeline(
+            index=cycle_index, n_procs=n_procs, makespan_us=makespan,
+            proc_busy_us=list(busy), spans=spans, envelopes=envelopes))
     return CycleResult(index=cycle_index, makespan_us=makespan,
                        proc_busy_us=busy,
                        proc_activations=activations,

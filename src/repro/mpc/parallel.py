@@ -42,6 +42,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
+from ..obs import get_registry, log_event
 from ..trace.events import SectionTrace
 from .costmodel import (DEFAULT_COSTS, TABLE_5_1, ZERO_OVERHEADS, CostModel,
                         OverheadModel)
@@ -163,19 +164,30 @@ def run_grid(trace: SectionTrace, points: Sequence[GridPoint],
     in-process (see the module docstring).
     """
     points = list(points)
+    registry = get_registry()
+    registry.counter("parallel.points").inc(len(points))
     n_workers = min(resolve_workers(workers), len(points))
     if n_workers <= 1 or not _picklable((trace, costs, points)):
+        registry.counter("parallel.serial_points").inc(len(points))
+        log_event(logger, "grid_serial", trace=trace.name,
+                  points=len(points))
         return [_eval_point(trace, costs, point) for point in points]
+    log_event(logger, "grid_start", trace=trace.name, points=len(points),
+              workers=n_workers)
     results: List[Optional[SimResult]] = [None] * len(points)
     remaining = _run_pool(trace, costs, points, range(len(points)),
                           results, n_workers)
     if remaining:
+        registry.counter("parallel.pool_breaks").inc()
+        registry.counter("parallel.retried_points").inc(len(remaining))
         logger.warning(
             "worker pool broke with %d of %d point(s) unfinished; "
             "retrying them in a fresh pool", len(remaining), len(points))
         remaining = _run_pool(trace, costs, points, remaining, results,
                               min(n_workers, len(remaining)))
     if remaining:
+        registry.counter("parallel.pool_breaks").inc()
+        registry.counter("parallel.serial_points").inc(len(remaining))
         logger.warning(
             "fresh pool broke too; evaluating %d point(s) serially "
             "in-process", len(remaining))
@@ -183,6 +195,7 @@ def run_grid(trace: SectionTrace, points: Sequence[GridPoint],
             results[i] = _eval_point(trace, costs, points[i])
         logger.info("recovered grid point(s) %s via serial fallback",
                     remaining)
+    log_event(logger, "grid_done", trace=trace.name, points=len(points))
     return results  # type: ignore[return-value]
 
 

@@ -164,7 +164,8 @@ def simulate(trace: SectionTrace,
              mapping: Optional[BucketMapping] = None,
              mapping_factory: Optional[MappingFactory] = None,
              faults: Optional["FaultModel"] = None,
-             protocol: Optional["ProtocolModel"] = None) -> SimResult:
+             protocol: Optional["ProtocolModel"] = None,
+             recorder: Optional["TimelineRecorder"] = None) -> SimResult:
     """Simulate *trace* on *n_procs* match processors.
 
     Parameters
@@ -189,6 +190,15 @@ def simulate(trace: SectionTrace,
         arguments.  *protocol* defaults to
         :data:`~repro.mpc.faults.DEFAULT_PROTOCOL` when faults are
         active, and is ignored otherwise.
+    recorder:
+        Optional :class:`~repro.mpc.timeline.TimelineRecorder`.  When
+        given, every cycle is simulated by the span-recording mirror of
+        the event loop (:mod:`repro.mpc.timeline`), which replays the
+        fast loop's arithmetic exactly — the returned result is
+        bit-identical to an unrecorded run, and ``recorder.timeline``
+        afterwards holds the per-event timeline.  When ``None`` (the
+        default) the fast path runs untouched, with zero added
+        per-event work.
 
     Returns
     -------
@@ -208,6 +218,10 @@ def simulate(trace: SectionTrace,
         from .faults import DEFAULT_PROTOCOL, simulate_cycle_with_faults
         if protocol is None:
             protocol = DEFAULT_PROTOCOL
+    if recorder is not None:
+        from .timeline import _simulate_cycle_recorded
+        recorder.begin_section(trace.name, n_procs, costs, overheads,
+                               faulty)
 
     search_costs = compute_search_costs(trace, costs)
     result = SimResult(trace_name=trace.name, n_procs=n_procs)
@@ -220,7 +234,12 @@ def simulate(trace: SectionTrace,
         if faulty:
             cycle_result = simulate_cycle_with_faults(
                 cycle, n_procs, costs, overheads, cycle_mapping,
-                faults, protocol, search_costs.get(cycle.index, {}))
+                faults, protocol, search_costs.get(cycle.index, {}),
+                recorder=recorder)
+        elif recorder is not None:
+            cycle_result = _simulate_cycle_recorded(
+                cycle, n_procs, costs, overheads, cycle_mapping,
+                search_costs.get(cycle.index, {}), recorder)
         else:
             cycle_result = _simulate_cycle(
                 cycle, n_procs, costs, overheads, cycle_mapping,

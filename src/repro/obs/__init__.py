@@ -1,0 +1,26 @@
+"""Observability primitives: a metrics registry and structured logging.
+
+This package is deliberately dependency-free (stdlib only) and imported
+by every layer of the harness — the trace cache counts hits and misses,
+the parallel sweep engine counts worker crashes and recovered points,
+the CLI routes its warnings through one configurable logger — so a
+single ``repro cache-stats`` or ``-v`` flag surfaces what the whole
+stack did.
+
+* :mod:`~repro.obs.metrics` — process-local counters and histograms,
+  collected in a named registry and snapshotted as plain dicts.
+* :mod:`~repro.obs.logging` — the ``repro.*`` logger hierarchy with a
+  verbosity-level configurator (``--quiet`` / ``-v`` / ``-vv``) and a
+  ``key=value`` structured-event helper.
+"""
+
+from .logging import (configure_logging, get_logger, log_event,
+                      verbosity_level)
+from .metrics import (Counter, Histogram, MetricsRegistry, get_registry,
+                      reset_registry)
+
+__all__ = [
+    "configure_logging", "get_logger", "log_event", "verbosity_level",
+    "Counter", "Histogram", "MetricsRegistry", "get_registry",
+    "reset_registry",
+]

@@ -1,0 +1,152 @@
+"""Process-local metrics: named counters and histograms in a registry.
+
+The harness is a batch tool, not a server, so this is intentionally the
+smallest thing that works: plain Python objects, no locks (CPython's
+GIL makes ``+=`` on an int effectively atomic for our purposes, and
+worker processes each carry their own registry), and a
+:meth:`MetricsRegistry.snapshot` that returns JSON-ready dicts for the
+CLI's machine-readable outputs.
+
+Typical use::
+
+    from repro.obs import get_registry
+
+    get_registry().counter("trace_cache.disk_hits").inc()
+    get_registry().histogram("parallel.point_s").observe(elapsed)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self._value})"
+
+
+class Histogram:
+    """Summary statistics plus power-of-two buckets of observations.
+
+    Buckets are keyed by ``ceil(log2(value))`` (with a dedicated bucket
+    for zero), which is plenty to tell "microseconds" from "seconds" in
+    a report without storing every sample.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("histogram values must be >= 0")
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        bucket = -1 if value == 0 else math.ceil(math.log2(value)) \
+            if value > 1 else 0
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name}: n={self.count}, "
+                f"mean={self.mean:g})")
+
+
+class MetricsRegistry:
+    """A flat namespace of counters and histograms.
+
+    Names are dotted strings (``"trace_cache.misses"``); asking for an
+    existing name returns the existing instrument, so call sites never
+    need to coordinate creation.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            if name in self._histograms:
+                raise ValueError(f"{name!r} is already a histogram")
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            if name in self._counters:
+                raise ValueError(f"{name!r} is already a counter")
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    def counters(self, prefix: str = "") -> List[Counter]:
+        return [c for name, c in sorted(self._counters.items())
+                if name.startswith(prefix)]
+
+    def snapshot(self, prefix: str = "") -> Dict[str, object]:
+        """JSON-ready view: counter values and histogram summaries."""
+        out: Dict[str, object] = {}
+        for name, counter in sorted(self._counters.items()):
+            if name.startswith(prefix):
+                out[name] = counter.value
+        for name, histogram in sorted(self._histograms.items()):
+            if name.startswith(prefix):
+                out[name] = histogram.summary()
+        return out
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()
+
+
+#: The process-wide default registry (worker processes get their own).
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _registry
+
+
+def reset_registry() -> None:
+    """Clear the default registry (test isolation)."""
+    _registry.reset()

@@ -10,9 +10,10 @@
   copy-and-constraint (paper Section 5.2).
 """
 
-from .cache import (cache_dir, cache_enabled, cached_trace, clear_cache,
-                    invalidate, module_source, set_cache_enabled,
-                    source_fingerprint, trace_key)
+from .cache import (cache_dir, cache_enabled, cache_stats, cached_trace,
+                    clear_cache, format_cache_stats, invalidate,
+                    module_source, set_cache_enabled, source_fingerprint,
+                    trace_key)
 from .events import (KIND_JOIN, KIND_NEGATIVE, KIND_TERMINAL, LEFT, RIGHT,
                      ActivationStats, CycleTrace, SectionTrace,
                      TraceActivation)
@@ -29,9 +30,9 @@ __all__ = [
     "ActivationStats", "CycleTrace", "SectionTrace", "TraceActivation",
     "TRACE_FORMAT_VERSION", "TraceFormatError", "dump_trace",
     "dumps_trace", "load_trace", "loads_trace", "read_trace", "save_trace",
-    "cache_dir", "cache_enabled", "cached_trace", "clear_cache",
-    "invalidate", "module_source", "set_cache_enabled",
-    "source_fingerprint", "trace_key",
+    "cache_dir", "cache_enabled", "cache_stats", "cached_trace",
+    "clear_cache", "format_cache_stats", "invalidate", "module_source",
+    "set_cache_enabled", "source_fingerprint", "trace_key",
     "TraceRecorder", "record_program",
     "copy_and_constraint_trace", "insert_dummy_nodes", "unshare_trace",
     "TraceValidationError", "validate_cycle", "validate_trace",

@@ -44,6 +44,7 @@ vanishing.  :func:`clear_cache` removes quarantined files too.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import importlib
 import inspect
@@ -55,11 +56,51 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Callable, Dict, Optional
 
+from ..obs import get_registry, log_event
 from .events import SectionTrace
 from .format import (TRACE_FORMAT_VERSION, TraceFormatError, dump_trace,
                      read_trace)
 
 logger = logging.getLogger(__name__)
+
+#: Counter names, all under this prefix (see :func:`cache_stats`).
+METRIC_PREFIX = "trace_cache."
+
+_COUNTERS = ("memory_hits", "disk_hits", "misses", "stores", "quarantines")
+
+
+def _count(event: str) -> None:
+    get_registry().counter(METRIC_PREFIX + event).inc()
+
+
+def cache_stats() -> Dict[str, int]:
+    """This process's cache counters (hits/misses/stores/quarantines)."""
+    registry = get_registry()
+    return {name: registry.counter(METRIC_PREFIX + name).value
+            for name in _COUNTERS}
+
+
+def format_cache_stats(stats: Optional[Dict[str, int]] = None) -> str:
+    """The counters as one ``key=value`` line (process summary)."""
+    stats = cache_stats() if stats is None else stats
+    return "trace cache: " + " ".join(f"{k}={v}" for k, v in stats.items())
+
+
+@atexit.register
+def _log_summary_at_exit() -> None:
+    # One INFO line per process that touched the cache — visible with
+    # -v, silent otherwise (INFO is below the default WARNING level).
+    # Handlers may point at a stream the host (e.g. pytest's capture)
+    # already closed this late in shutdown, so swallow emit errors.
+    stats = cache_stats()
+    if not any(stats.values()):
+        return
+    previous = logging.raiseExceptions
+    logging.raiseExceptions = False
+    try:
+        logger.info("%s", format_cache_stats(stats))
+    finally:
+        logging.raiseExceptions = previous
 
 #: Environment switch: set to ``0``/``false``/``off``/``no`` to disable.
 ENV_ENABLED = "REPRO_TRACE_CACHE"
@@ -158,6 +199,7 @@ def _store(key: str, trace: SectionTrace) -> None:
             with os.fdopen(fd, "w", encoding="utf-8") as stream:
                 dump_trace(trace, stream)
             os.replace(tmp_name, _path_for(key))
+            _count("stores")
         finally:
             if os.path.exists(tmp_name):
                 os.unlink(tmp_name)
@@ -177,6 +219,7 @@ def cached_trace(key: str, build: Callable[[], SectionTrace], *,
     if not refresh:
         trace = _memory.get(key)
         if trace is not None:
+            _count("memory_hits")
             return trace
         path = _path_for(key)
         try:
@@ -187,8 +230,14 @@ def cached_trace(key: str, build: Callable[[], SectionTrace], *,
             _quarantine(path, err)
             trace = None
         if trace is not None:
+            _count("disk_hits")
+            log_event(logger, "cache_hit", level=logging.DEBUG,
+                      key=key, layer="disk")
             _memory[key] = trace
             return trace
+    _count("misses")
+    log_event(logger, "cache_miss", level=logging.DEBUG, key=key,
+              refresh=refresh)
     trace = build()
     _store(key, trace)
     _memory[key] = trace
@@ -204,6 +253,7 @@ def _quarantine(path: Path, err: Exception) -> Optional[Path]:
     or ``None`` if even the rename failed (read-only filesystem).
     """
     target = path.with_name(path.name + ".corrupt")
+    _count("quarantines")
     try:
         os.replace(path, target)
     except OSError:

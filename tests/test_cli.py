@@ -185,3 +185,131 @@ class TestSubprocess:
     def test_no_command_is_error(self):
         result = run_cli()
         assert result.returncode != 0
+
+
+class TestObservability:
+    """The profiling/report surfaces added with the timeline layer."""
+
+    def test_profile_table(self, capsys):
+        assert main(["profile", "weaver", "--procs", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "idle time:" in out
+        assert "critical path" in out
+        assert "proc 0" in out          # the Gantt chart
+        assert "B broadcast" in out     # the legend
+
+    def test_profile_chrome_is_perfetto_loadable(self, tmp_path,
+                                                 capsys):
+        import json as json_mod
+        out_file = tmp_path / "weaver.trace.json"
+        assert main(["profile", "weaver", "--procs", "4",
+                     "--format", "chrome", "--out", str(out_file)]) == 0
+        assert "perfetto" in capsys.readouterr().out
+        data = json_mod.loads(out_file.read_text(encoding="utf-8"))
+        events = data["traceEvents"]
+        assert any(e["ph"] == "M" for e in events)
+        assert any(e["ph"] == "X" for e in events)
+
+    def test_profile_json_attribution(self, capsys):
+        import json as json_mod
+        assert main(["profile", "weaver", "--procs", "8",
+                     "--format", "json"]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["trace"] == "weaver"
+        assert payload["n_procs"] == 8
+        assert set(payload["idle_shares"]) == {
+            "broadcast_floor", "chain_wait", "comm_overhead",
+            "imbalance", "protocol"}
+
+    def test_profile_jsonl_spans(self, tmp_path, capsys):
+        import json as json_mod
+        out_file = tmp_path / "spans.jsonl"
+        assert main(["profile", "weaver", "--procs", "2",
+                     "--format", "jsonl", "--out", str(out_file)]) == 0
+        lines = out_file.read_text(encoding="utf-8").splitlines()
+        assert lines
+        record = json_mod.loads(lines[0])
+        assert "category" in record and "proc" in record
+
+    def test_profile_trace_file_target(self, tmp_path, capsys):
+        out_file = tmp_path / "w.trace"
+        assert main(["trace", "--section", "weaver",
+                     "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        assert main(["profile", str(out_file), "--procs", "4"]) == 0
+        assert "idle time:" in capsys.readouterr().out
+
+    def test_profile_under_faults(self, capsys):
+        assert main(["profile", "weaver", "--procs", "8",
+                     "--loss", "0.05", "--fault-seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "loss=0.05" in out
+
+    def test_profile_unknown_target(self, capsys):
+        assert main(["profile", "nonesuch"]) == 2
+        assert "cannot read trace file" in capsys.readouterr().err
+
+    def test_simulate_json(self, capsys):
+        import json as json_mod
+        assert main(["simulate", "--section", "weaver",
+                     "--procs", "1", "8", "--json"]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["trace"] == "weaver"
+        assert [p["n_procs"] for p in payload["points"]] == [1, 8]
+        assert payload["points"][1]["speedup"] > \
+            payload["points"][0]["speedup"]
+
+    def test_simulate_timeline_writes_chrome_trace(self, tmp_path,
+                                                   capsys):
+        import json as json_mod
+        out_file = tmp_path / "sim.trace.json"
+        assert main(["simulate", "--section", "weaver", "--procs", "8",
+                     "--timeline", str(out_file)]) == 0
+        assert "perfetto" in capsys.readouterr().out
+        data = json_mod.loads(out_file.read_text(encoding="utf-8"))
+        assert data["traceEvents"]
+
+    def test_simulate_timeline_needs_one_proc_count(self, tmp_path,
+                                                    capsys):
+        out_file = tmp_path / "sim.trace.json"
+        assert main(["simulate", "--section", "weaver",
+                     "--procs", "4", "8",
+                     "--timeline", str(out_file)]) == 2
+        assert "--timeline" in capsys.readouterr().err
+        assert not out_file.exists()
+
+    def test_fault_sweep_json(self, capsys):
+        import json as json_mod
+        assert main(["fault-sweep", "--section", "weaver",
+                     "--procs", "8", "--loss", "0", "0.02",
+                     "--json"]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["loss_rates"] == [0.0, 0.02]
+        assert len(payload["speedups"]) == 2
+        assert isinstance(payload["monotone"], bool)
+
+    def test_diagnose_includes_measured_attribution(self, capsys):
+        assert main(["diagnose", "--section", "weaver",
+                     "--procs", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "measured-idle" in out
+        assert "of idle time at 8 procs" in out
+
+    def test_cache_stats_text_and_json(self, capsys):
+        import json as json_mod
+        assert main(["cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cache dir:" in out and "this process:" in out
+        assert main(["cache-stats", "--json"]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert set(payload["counters"]) == {
+            "memory_hits", "disk_hits", "misses", "stores",
+            "quarantines"}
+
+    def test_verbosity_flags_accepted(self, capsys):
+        assert main(["sections", "-q"]) == 0
+        capsys.readouterr()
+        assert main(["simulate", "--section", "weaver",
+                     "--procs", "4", "-v"]) == 0
+        capsys.readouterr()
+        assert main(["profile", "weaver", "--procs", "2", "-vv"]) == 0

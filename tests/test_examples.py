@@ -84,3 +84,13 @@ def test_paper_figures_rejects_unknown():
     result = run_example("paper_figures.py", "fig9_9")
     assert result.returncode != 0
     assert "unknown figure" in result.stderr
+
+
+def test_profile_section():
+    result = run_example("profile_section.py")
+    assert result.returncode == 0, result.stderr
+    assert "bit-identical: yes" in result.stdout
+    assert "reconcile exactly" in result.stdout
+    assert "idle time:" in result.stdout
+    assert "dominant limiter" in result.stdout
+    assert "all invariants hold" in result.stdout

@@ -1,0 +1,171 @@
+"""Tests of the idle-time attribution pass (paper Section 5 limiters).
+
+The core invariant: every idle microsecond of every processor is
+assigned to exactly one category, and the categories sum — exactly,
+with the paper's 0.5 µs-granular cost models — to the measured idle
+time ``n_procs * makespan - sum(proc_busy)``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc import (FailStop, FaultModel, StallWindow,
+                       TimelineRecorder, attribute_cycle,
+                       attribute_timeline, critical_path,
+                       format_attribution, simulate)
+from repro.mpc.attribution import IDLE_CATEGORIES
+from repro.mpc.costmodel import TABLE_5_1
+from repro.workloads import tourney_section, weaver_section
+
+from tests.test_simulator_properties import random_traces
+
+OV16 = next(o for o in TABLE_5_1 if o.total_us == 16)
+
+
+def attributed(trace, n_procs, **kwargs):
+    recorder = TimelineRecorder()
+    result = simulate(trace, n_procs=n_procs, recorder=recorder,
+                      **kwargs)
+    return result, recorder.timeline, attribute_timeline(recorder.timeline)
+
+
+class TestSums:
+    @pytest.mark.parametrize("n_procs", [1, 4, 16])
+    def test_categories_partition_measured_idle(self, n_procs):
+        result, timeline, section = attributed(weaver_section(), n_procs,
+                                               overheads=OV16)
+        for attribution, cycle_result in zip(section.cycles,
+                                             result.cycles):
+            attribution.check_sums()
+            measured = n_procs * cycle_result.makespan_us \
+                - sum(cycle_result.proc_busy_us)
+            assert attribution.idle_us == pytest.approx(measured)
+
+    def test_sums_under_faults(self):
+        faults = FaultModel(seed=9, loss_prob=0.2, dup_prob=0.1)
+        result, _, section = attributed(weaver_section(), 8,
+                                        overheads=OV16, faults=faults)
+        for attribution, cycle_result in zip(section.cycles,
+                                             result.cycles):
+            attribution.check_sums()
+
+    def test_shares_sum_to_one(self):
+        _, _, section = attributed(weaver_section(), 8, overheads=OV16)
+        assert sum(section.idle_shares().values()) == pytest.approx(1.0)
+        assert section.dominant_category() in IDLE_CATEGORIES
+
+    def test_check_sums_detects_corruption(self):
+        _, _, section = attributed(weaver_section(), 4, overheads=OV16)
+        attribution = section.cycles[0]
+        attribution.idle_by_category["chain_wait"] += 123.0
+        with pytest.raises(ValueError):
+            attribution.check_sums()
+
+
+class TestCategoryBehavior:
+    def test_single_proc_idles_only_on_floor(self):
+        # One processor never waits on peers: its only idle time is the
+        # tail while control drains instantiation receipts — and the
+        # broadcast floor is busy time (recv) for it, not idle.
+        _, _, section = attributed(weaver_section(), 1, overheads=OV16)
+        by_category = section.idle_by_category()
+        assert by_category["chain_wait"] == 0.0
+        assert by_category["protocol"] == 0.0
+
+    def test_protocol_category_appears_with_stalls(self):
+        faults = FaultModel(seed=0, stalls=(
+            StallWindow(proc=0, start_us=0.0, end_us=2_000.0),))
+        _, _, section = attributed(weaver_section(), 4,
+                                   overheads=OV16, faults=faults)
+        assert section.idle_by_category()["protocol"] > 0.0
+        for attribution in section.cycles:
+            attribution.check_sums()
+
+    def test_failstop_counts_as_protocol(self):
+        faults = FaultModel(seed=0, failures=(
+            FailStop(proc=1, cycle=1, recovery_us=5_000.0),))
+        _, _, section = attributed(weaver_section(), 4,
+                                   overheads=OV16, faults=faults)
+        assert section.idle_by_category()["protocol"] > 0.0
+
+    def test_fault_free_run_has_zero_protocol_idle(self):
+        _, _, section = attributed(weaver_section(), 8, overheads=OV16)
+        assert section.idle_by_category()["protocol"] == 0.0
+
+    def test_imbalance_dominates_hot_bucket_section(self):
+        # Tourney funnels everything into one bucket: the other
+        # processors finish early and wait for the owner.
+        _, _, section = attributed(tourney_section(), 8,
+                                   overheads=OV16)
+        shares = section.idle_shares()
+        assert shares["imbalance"] + shares["chain_wait"] > 0.5
+
+
+class TestCriticalPath:
+    def test_path_is_causal_chain(self):
+        _, timeline, section = attributed(weaver_section(), 8,
+                                          overheads=OV16)
+        for cycle in timeline.cycles:
+            path = critical_path(cycle)
+            assert path, "non-empty cycle must have a critical path"
+            for parent, child in zip(path, path[1:]):
+                assert child.parent_id == parent.act_id
+                assert child.start_us >= parent.start_us
+            by_end = max(e.end_us for e in cycle.envelopes)
+            assert path[-1].end_us == by_end
+
+    def test_attributions_carry_path(self):
+        _, _, section = attributed(weaver_section(), 8, overheads=OV16)
+        for attribution in section.cycles:
+            assert attribution.critical_path
+
+
+class TestReport:
+    def test_format_attribution_mentions_all_categories(self):
+        _, _, section = attributed(weaver_section(), 8, overheads=OV16)
+        text = format_attribution(section, title="weaver@8")
+        assert "weaver@8" in text
+        assert "idle time:" in text
+        assert "busy mix:" in text
+        assert "critical path" in text
+
+    def test_to_dict_is_json_ready(self):
+        import json
+        _, _, section = attributed(weaver_section(), 8, overheads=OV16)
+        payload = json.loads(json.dumps(section.to_dict()))
+        assert payload["trace"] == "weaver"
+        assert set(payload["idle_by_category_us"]) == set(IDLE_CATEGORIES)
+        assert payload["longest_cycle"]["critical_path"]
+
+
+@settings(max_examples=35, deadline=None)
+@given(trace=random_traces(),
+       n_procs=st.integers(min_value=1, max_value=12))
+def test_property_categories_always_partition(trace, n_procs):
+    recorder = TimelineRecorder()
+    result = simulate(trace, n_procs=n_procs, overheads=OV16,
+                      recorder=recorder)
+    section = attribute_timeline(recorder.timeline)
+    for attribution, cycle_result in zip(section.cycles, result.cycles):
+        attribution.check_sums()
+        measured = n_procs * cycle_result.makespan_us \
+            - sum(cycle_result.proc_busy_us)
+        assert attribution.idle_us == pytest.approx(measured)
+        # no category goes negative
+        assert all(v >= 0.0
+                   for v in attribution.idle_by_category.values())
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace=random_traces(),
+       loss=st.sampled_from([0.0, 0.2]),
+       n_procs=st.integers(min_value=2, max_value=8))
+def test_property_sums_hold_under_faults(trace, loss, n_procs):
+    faults = FaultModel(seed=2, loss_prob=loss, dup_prob=0.1)
+    recorder = TimelineRecorder()
+    simulate(trace, n_procs=n_procs, overheads=OV16, faults=faults,
+             recorder=recorder)
+    section = attribute_timeline(recorder.timeline)
+    for attribution in section.cycles:
+        attribution.check_sums()

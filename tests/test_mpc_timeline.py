@@ -1,0 +1,244 @@
+"""Tests of the opt-in timeline recorder and its exports.
+
+The contract under test: a recorder never changes simulation results
+(bit-identical SimResult, fault-free and faulty), and the spans it
+produces reconcile exactly with the aggregate counters — per-processor
+busy sums, control busy, network busy, and the makespan.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc import (FaultModel, OverheadModel, ProtocolModel,
+                       StallWindow, TimelineRecorder, chrome_trace,
+                       gantt, gantt_section, simulate, timeline_jsonl,
+                       write_chrome_trace)
+from repro.mpc.costmodel import TABLE_5_1
+from repro.mpc.timeline import CONTROL, NETWORK, CATEGORIES
+from repro.workloads import weaver_section
+
+from tests.test_simulator_properties import random_traces
+
+OV16 = next(o for o in TABLE_5_1 if o.total_us == 16)
+
+
+@pytest.fixture(scope="module")
+def weaver():
+    return weaver_section()
+
+
+def recorded(trace, n_procs, **kwargs):
+    recorder = TimelineRecorder()
+    result = simulate(trace, n_procs=n_procs, recorder=recorder,
+                      **kwargs)
+    return result, recorder.timeline
+
+
+class TestBitIdentity:
+    def test_fault_free(self, weaver):
+        base = simulate(weaver, n_procs=8, overheads=OV16)
+        result, timeline = recorded(weaver, 8, overheads=OV16)
+        assert result == base
+        assert len(timeline.cycles) == len(base.cycles)
+
+    def test_faulty(self, weaver):
+        faults = FaultModel(seed=11, loss_prob=0.15, dup_prob=0.05,
+                            jitter_us=3.0)
+        base = simulate(weaver, n_procs=8, overheads=OV16, faults=faults)
+        result, timeline = recorded(weaver, 8, overheads=OV16,
+                                    faults=faults)
+        assert result == base
+        assert timeline.faulty
+
+    def test_recorder_reusable(self, weaver):
+        recorder = TimelineRecorder()
+        simulate(weaver, n_procs=2, overheads=OV16, recorder=recorder)
+        first = recorder.timeline
+        simulate(weaver, n_procs=4, overheads=OV16, recorder=recorder)
+        assert recorder.timeline is not first
+        assert recorder.timeline.n_procs == 4
+
+
+class TestReconciliation:
+    """Span totals must equal the aggregate counters, bit for bit."""
+
+    @pytest.mark.parametrize("n_procs", [1, 4, 16])
+    def test_fault_free_exact(self, weaver, n_procs):
+        result, timeline = recorded(weaver, n_procs, overheads=OV16)
+        for cycle_timeline, cycle_result in zip(timeline.cycles,
+                                                result.cycles):
+            cycle_timeline.reconcile(cycle_result)
+
+    def test_faulty_exact_without_jitter(self, weaver):
+        # All protocol constants are multiples of 0.5 us, so even the
+        # ack/retransmit machinery reconciles exactly — only jitter
+        # introduces non-dyadic floats.
+        faults = FaultModel(seed=5, loss_prob=0.2, dup_prob=0.1)
+        result, timeline = recorded(weaver, 8, overheads=OV16,
+                                    faults=faults,
+                                    protocol=ProtocolModel())
+        assert result.retransmits > 0
+        for cycle_timeline, cycle_result in zip(timeline.cycles,
+                                                result.cycles):
+            cycle_timeline.reconcile(cycle_result)
+
+    def test_faulty_with_jitter_close(self, weaver):
+        faults = FaultModel(seed=5, loss_prob=0.1, jitter_us=2.5)
+        result, timeline = recorded(weaver, 8, overheads=OV16,
+                                    faults=faults)
+        for cycle_timeline, cycle_result in zip(timeline.cycles,
+                                                result.cycles):
+            cycle_timeline.reconcile(cycle_result, exact=False)
+
+    def test_reconcile_detects_tampering(self, weaver):
+        result, timeline = recorded(weaver, 4, overheads=OV16)
+        cycle = timeline.cycles[0]
+        cycle.spans[0] = type(cycle.spans[0])(
+            category=cycle.spans[0].category, proc=cycle.spans[0].proc,
+            start_us=cycle.spans[0].start_us,
+            end_us=cycle.spans[0].end_us + 1.0)
+        with pytest.raises(ValueError):
+            cycle.reconcile(result.cycles[0])
+
+    def test_stall_spans_are_not_busy(self, weaver):
+        faults = FaultModel(seed=0, stalls=(
+            StallWindow(proc=0, start_us=0.0, end_us=500.0),))
+        result, timeline = recorded(weaver, 4, overheads=OV16,
+                                    faults=faults)
+        stall_spans = [s for c in timeline.cycles for s in c.spans
+                      if s.category == "stall"]
+        assert stall_spans
+        assert not any(s.is_busy for s in stall_spans)
+        for cycle_timeline, cycle_result in zip(timeline.cycles,
+                                                result.cycles):
+            cycle_timeline.reconcile(cycle_result)
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=random_traces(),
+       n_procs=st.integers(min_value=1, max_value=12))
+def test_recorder_never_changes_results(trace, n_procs):
+    """Property: recording is invisible to the simulation physics."""
+    overheads = OverheadModel(send_us=5.0, recv_us=3.0)
+    base = simulate(trace, n_procs=n_procs, overheads=overheads)
+    recorder = TimelineRecorder()
+    result = simulate(trace, n_procs=n_procs, overheads=overheads,
+                      recorder=recorder)
+    assert result == base
+    for cycle_timeline, cycle_result in zip(recorder.timeline.cycles,
+                                            result.cycles):
+        cycle_timeline.reconcile(cycle_result)
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=random_traces(),
+       n_procs=st.integers(min_value=1, max_value=8),
+       loss=st.sampled_from([0.0, 0.1, 0.5]))
+def test_recorder_never_changes_fault_results(trace, n_procs, loss):
+    faults = FaultModel(seed=1, loss_prob=loss, dup_prob=0.1)
+    base = simulate(trace, n_procs=n_procs, overheads=OV16,
+                    faults=faults)
+    recorder = TimelineRecorder()
+    result = simulate(trace, n_procs=n_procs, overheads=OV16,
+                      faults=faults, recorder=recorder)
+    assert result == base
+    if not faults.is_null:
+        for cycle_timeline, cycle_result in zip(recorder.timeline.cycles,
+                                                result.cycles):
+            cycle_timeline.reconcile(cycle_result)
+
+
+class TestExports:
+    def test_chrome_trace_round_trips(self, weaver, tmp_path):
+        _, timeline = recorded(weaver, 4, overheads=OV16)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(timeline, path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data == chrome_trace(timeline)
+
+    def test_chrome_trace_schema(self, weaver):
+        _, timeline = recorded(weaver, 4, overheads=OV16)
+        data = chrome_trace(timeline)
+        events = data["traceEvents"]
+        assert isinstance(events, list) and events
+        names = {e["name"] for e in events if e["ph"] == "M"}
+        assert "process_name" in names and "thread_name" in names
+        for event in events:
+            assert event["ph"] in ("M", "X")
+            if event["ph"] == "X":
+                assert event["ts"] >= 0 and event["dur"] >= 0
+                assert isinstance(event["tid"], int)
+                # every duration event names a known category or cycle
+                assert event["cat"] == "cycle" or \
+                    event["name"] in CATEGORIES
+
+    def test_chrome_trace_cycles_do_not_overlap(self, weaver):
+        _, timeline = recorded(weaver, 4, overheads=OV16)
+        offsets = timeline.cycle_offsets_us()
+        for offset, cycle in zip(offsets, timeline.cycles):
+            for span in cycle.spans:
+                assert offset + span.end_us <= \
+                    offset + cycle.makespan_us + 1e-9
+
+    def test_jsonl_lines_parse(self, weaver):
+        _, timeline = recorded(weaver, 4, overheads=OV16)
+        lines = list(timeline_jsonl(timeline))
+        assert len(lines) == sum(len(c.spans) for c in timeline.cycles)
+        for line in lines:
+            record = json.loads(line)
+            assert record["category"] in CATEGORIES
+            assert record["end_us"] >= record["start_us"]
+
+    def test_gantt_smoke(self, weaver):
+        _, timeline = recorded(weaver, 4, overheads=OV16)
+        chart = gantt(timeline.cycles[0], width=40)
+        lines = chart.splitlines()
+        # header + control + 4 procs + network + legend
+        assert len(lines) == 8
+        assert "control" in chart and "proc 0" in chart
+        assert "network" in chart
+
+    def test_gantt_section_selects_cycles(self, weaver):
+        _, timeline = recorded(weaver, 2, overheads=OV16)
+        indices = [c.index for c in timeline.cycles[:2]]
+        out = gantt_section(timeline, width=32, cycles=indices)
+        for index in indices:
+            assert f"cycle {index}:" in out
+        with pytest.raises(ValueError):
+            gantt_section(timeline, cycles=[999])
+
+    def test_gantt_rejects_narrow_width(self, weaver):
+        _, timeline = recorded(weaver, 2, overheads=OV16)
+        with pytest.raises(ValueError):
+            gantt(timeline.cycles[0], width=4)
+
+
+class TestTimelineStructure:
+    def test_rows_are_well_formed(self, weaver):
+        _, timeline = recorded(weaver, 4, overheads=OV16)
+        for cycle in timeline.cycles:
+            for span in cycle.spans:
+                assert span.end_us >= span.start_us
+                assert span.proc in (CONTROL, NETWORK) or \
+                    0 <= span.proc < cycle.n_procs
+                assert span.category in CATEGORIES
+
+    def test_envelopes_cover_activations(self, weaver):
+        _, timeline = recorded(weaver, 4, overheads=OV16)
+        for trace_cycle, cycle in zip(weaver, timeline.cycles):
+            non_terminal_roots = [a for a in trace_cycle
+                                  if a.kind != "terminal"
+                                  or a.parent_id is None]
+            assert len(cycle.envelopes) == len(non_terminal_roots)
+
+    def test_total_and_offsets(self, weaver):
+        _, timeline = recorded(weaver, 4, overheads=OV16)
+        offsets = timeline.cycle_offsets_us()
+        assert offsets[0] == 0.0
+        assert timeline.total_us == pytest.approx(
+            offsets[-1] + timeline.cycles[-1].makespan_us)
+        assert timeline.longest_cycle().makespan_us == \
+            max(c.makespan_us for c in timeline.cycles)

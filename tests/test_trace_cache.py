@@ -246,3 +246,51 @@ class TestEscapeHatch:
 
     def test_cache_dir_honors_env(self, tmp_path):
         assert cache_dir() == tmp_path / "cache"
+
+
+class TestMetrics:
+    @pytest.fixture(autouse=True)
+    def clean_registry(self):
+        from repro.obs import reset_registry
+        reset_registry()
+        yield
+        reset_registry()
+
+    def counts(self):
+        from repro.trace import cache_stats
+        return cache_stats()
+
+    def test_miss_store_and_hits_are_counted(self):
+        key = trace_key("metrics", seed=0)
+        cached_trace(key, small_trace)            # miss + store
+        cached_trace(key, small_trace)            # memory hit
+        trace_cache._memory.clear()
+        cached_trace(key, small_trace)            # disk hit
+        stats = self.counts()
+        assert stats["misses"] == 1
+        assert stats["stores"] == 1
+        assert stats["memory_hits"] == 1
+        assert stats["disk_hits"] == 1
+        assert stats["quarantines"] == 0
+
+    def test_quarantine_counted(self):
+        key = trace_key("metrics-q", seed=1)
+        cached_trace(key, small_trace)
+        trace_cache._memory.clear()
+        for path in cache_dir().glob("*.trace"):
+            path.write_text("garbage\n", encoding="utf-8")
+        cached_trace(key, lambda: small_trace(seed=1))
+        stats = self.counts()
+        assert stats["quarantines"] == 1
+        # the rebuild after the quarantine is a miss + store again
+        assert stats["misses"] == 2
+        assert stats["stores"] == 2
+
+    def test_format_cache_stats_mentions_every_counter(self):
+        from repro.trace import format_cache_stats
+        key = trace_key("metrics-fmt", seed=2)
+        cached_trace(key, small_trace)
+        text = format_cache_stats()
+        for name in ("memory_hits", "disk_hits", "misses", "stores",
+                     "quarantines"):
+            assert name + "=" in text
