@@ -1,0 +1,297 @@
+"""The oracle matrix: every equivalence pair the codebase claims.
+
+Each oracle takes one generated case and checks a pair of execution
+paths that are documented to produce *identical* results.  The pairs:
+
+``opt_vs_reference``
+    The optimized event loop (:func:`repro.mpc.simulate`) against the
+    preserved original loop (:mod:`repro.mpc._reference`), field for
+    field on every cycle.
+``fault_null_dispatch``
+    ``simulate(faults=<null FaultModel>)`` must dispatch onto the exact
+    fault-free path: bit-identical results, fault counters included.
+``protocol_zero_fault``
+    The raw fault/protocol loop run with a null fault model prices acks
+    (they are part of the reliable-delivery protocol, not of a fault),
+    so at :data:`~repro.mpc.ZERO_OVERHEADS` — where acks are free — its
+    timing fields must equal the fault-free loop's exactly.  Message
+    and ack counters are excluded by design.
+``recorder_invisible``
+    Passing a :class:`~repro.mpc.timeline.TimelineRecorder` must not
+    change any result field (the recorded loop is a mirror of the fast
+    one).
+``parallel_vs_serial``
+    :func:`repro.mpc.parallel.run_grid` with worker processes returns
+    the same results as the serial path.  Worker pools are expensive,
+    so this oracle declares ``every=25`` and the runner samples it.
+``cache_round_trip``
+    A trace stored through the content-addressed cache and reloaded
+    from disk (memory entry evicted) serializes identically to the
+    original.
+``rete_vs_naive``
+    Incremental Rete match against the from-scratch naive matcher:
+    identical conflict sets after every working-memory change.
+
+Each oracle returns ``None`` on success or a one-line failure detail.
+All the per-oracle parameter draws (processor counts, overhead rows)
+come from a CRC-keyed per-case stream, so a failure reproduces from
+``(seed, index)`` alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import random
+import tempfile
+import zlib
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..mpc import (DEFAULT_COSTS, TABLE_5_1, ZERO_OVERHEADS, FaultModel,
+                   simulate)
+from ..mpc._reference import simulate_reference
+from ..mpc.faults import DEFAULT_PROTOCOL, simulate_cycle_with_faults
+from ..mpc.mapping import RoundRobinMapping
+from ..mpc.parallel import GridPoint, run_grid
+from ..mpc.simulator import compute_search_costs
+from ..mpc.timeline import TimelineRecorder
+from ..obs import get_registry
+from ..ops5 import NaiveMatcher, parse_production
+from ..ops5.wme import WME
+from ..rete import ReteNetwork
+from ..trace import cache as trace_cache
+from ..trace.cache import cached_trace, trace_key
+from ..trace.events import SectionTrace
+from ..trace.format import dumps_trace
+from .generate import CheckCase, ProgramCase, TraceCase
+
+#: Timing fields compared by ``protocol_zero_fault`` (counter fields —
+#: n_messages, acks — legitimately differ: the protocol loop counts its
+#: ack traffic even when acks cost nothing).
+_TIMING_FIELDS = ("index", "makespan_us", "proc_busy_us",
+                  "proc_activations", "proc_left_activations",
+                  "control_busy_us", "network_busy_us")
+
+_PROC_CHOICES = (1, 2, 3, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """One equivalence pair: a named check over one case kind."""
+
+    name: str
+    kind: str  # "trace" or "program"
+    fn: Callable[[CheckCase], Optional[str]]
+    #: Run on every n-th eligible case (1 = always); lets expensive
+    #: oracles (worker pools) stay in the matrix without dominating it.
+    every: int = 1
+
+
+def _draws(case: CheckCase, oracle: str) -> random.Random:
+    # CRC rather than hash(): the builtin is salted per process and
+    # would make the parameter draws unreproducible.
+    key = (case.seed << 24) ^ (case.index << 4) ^ zlib.crc32(
+        oracle.encode())
+    return random.Random(key)
+
+
+def _pick_config(case: CheckCase, oracle: str):
+    rng = _draws(case, oracle)
+    n_procs = rng.choice(_PROC_CHOICES)
+    overheads = rng.choice((ZERO_OVERHEADS,) + TABLE_5_1)
+    return n_procs, overheads
+
+
+def _diff_results(a, b, fields: Optional[Tuple[str, ...]] = None
+                  ) -> Optional[str]:
+    """First differing cycle/field between two SimResults, or None."""
+    if len(a.cycles) != len(b.cycles):
+        return f"cycle counts differ: {len(a.cycles)} vs {len(b.cycles)}"
+    for ca, cb in zip(a.cycles, b.cycles):
+        da, db = dataclasses.asdict(ca), dataclasses.asdict(cb)
+        names = fields if fields is not None else tuple(da)
+        for name in names:
+            if da[name] != db[name]:
+                return (f"cycle {ca.index}: {name} "
+                        f"{da[name]!r} != {db[name]!r}")
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Trace oracles
+# ---------------------------------------------------------------------------
+
+def opt_vs_reference(case: TraceCase) -> Optional[str]:
+    n_procs, overheads = _pick_config(case, "opt_vs_reference")
+    opt = simulate(case.trace, n_procs, overheads=overheads)
+    ref = simulate_reference(case.trace, n_procs, overheads=overheads)
+    diff = _diff_results(opt, ref)
+    if diff:
+        return f"optimized != reference at P={n_procs}, " \
+               f"overheads={overheads.label()}: {diff}"
+    return None
+
+
+def fault_null_dispatch(case: TraceCase) -> Optional[str]:
+    n_procs, overheads = _pick_config(case, "fault_null_dispatch")
+    null = FaultModel(seed=case.seed)
+    assert null.is_null
+    plain = simulate(case.trace, n_procs, overheads=overheads)
+    dispatched = simulate(case.trace, n_procs, overheads=overheads,
+                          faults=null)
+    diff = _diff_results(plain, dispatched)
+    if diff:
+        return f"null FaultModel changed the run at P={n_procs}, " \
+               f"overheads={overheads.label()}: {diff}"
+    return None
+
+
+def protocol_zero_fault(case: TraceCase) -> Optional[str]:
+    rng = _draws(case, "protocol_zero_fault")
+    n_procs = rng.choice(_PROC_CHOICES)
+    null = FaultModel(seed=case.seed)
+    mapping = RoundRobinMapping(n_procs)
+    search = compute_search_costs(case.trace, DEFAULT_COSTS)
+    plain = simulate(case.trace, n_procs, overheads=ZERO_OVERHEADS)
+    for cycle, expect in zip(case.trace, plain.cycles):
+        got = simulate_cycle_with_faults(
+            cycle, n_procs, DEFAULT_COSTS, ZERO_OVERHEADS, mapping,
+            null, DEFAULT_PROTOCOL, search_costs=search)
+        de, dg = dataclasses.asdict(expect), dataclasses.asdict(got)
+        for name in _TIMING_FIELDS:
+            if de[name] != dg[name]:
+                return (f"zero-fault protocol loop != fault-free at "
+                        f"P={n_procs}, cycle {cycle.index}: {name} "
+                        f"{de[name]!r} != {dg[name]!r}")
+    return None
+
+
+def recorder_invisible(case: TraceCase) -> Optional[str]:
+    n_procs, overheads = _pick_config(case, "recorder_invisible")
+    plain = simulate(case.trace, n_procs, overheads=overheads)
+    recorder = TimelineRecorder()
+    recorded = simulate(case.trace, n_procs, overheads=overheads,
+                        recorder=recorder)
+    diff = _diff_results(plain, recorded)
+    if diff:
+        return f"recorder changed the run at P={n_procs}, " \
+               f"overheads={overheads.label()}: {diff}"
+    return None
+
+
+def parallel_vs_serial(case: TraceCase) -> Optional[str]:
+    rng = _draws(case, "parallel_vs_serial")
+    points = [GridPoint(n_procs=rng.choice(_PROC_CHOICES),
+                        overheads=rng.choice((ZERO_OVERHEADS,)
+                                             + TABLE_5_1))
+              for _ in range(4)]
+    serial = run_grid(case.trace, points, workers=1)
+    pooled = run_grid(case.trace, points, workers=2)
+    for i, (a, b) in enumerate(zip(serial, pooled)):
+        diff = _diff_results(a, b)
+        if diff:
+            return f"worker pool diverged on grid point {i}: {diff}"
+    return None
+
+
+def cache_round_trip(case: TraceCase) -> Optional[str]:
+    if not trace_cache.cache_enabled():
+        return None  # nothing to check when the cache is off
+    key = trace_key("check", source="check.oracles",
+                    seed=case.seed, index=case.index)
+    want = dumps_trace(case.trace)
+    with tempfile.TemporaryDirectory(prefix="repro-check-") as tmp:
+        saved = os.environ.get("REPRO_TRACE_CACHE_DIR")
+        os.environ["REPRO_TRACE_CACHE_DIR"] = tmp
+        try:
+            cached_trace(key, lambda: case.trace)
+            # Drop the memory entry so the second lookup must come
+            # from disk; the build callback proves it never fires.
+            trace_cache._memory.pop(key, None)
+            reloaded = cached_trace(
+                key, lambda: (_ for _ in ()).throw(
+                    AssertionError("cache missed its own entry")))
+        except AssertionError as err:
+            return str(err)
+        finally:
+            if saved is None:
+                del os.environ["REPRO_TRACE_CACHE_DIR"]
+            else:
+                os.environ["REPRO_TRACE_CACHE_DIR"] = saved
+            trace_cache._memory.pop(key, None)
+    got = dumps_trace(reloaded)
+    if want != got:
+        return "trace cache round-trip changed the serialized trace"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Program oracle
+# ---------------------------------------------------------------------------
+
+def _conflict_signature(matcher):
+    return sorted((inst.production.name,
+                   tuple(w.wme_id for w in inst.wmes))
+                  for inst in matcher.conflict_set())
+
+
+def rete_vs_naive(case: ProgramCase) -> Optional[str]:
+    rete, naive = ReteNetwork(), NaiveMatcher()
+    for source in case.rules:
+        production = parse_production(source)
+        rete.add_production(production)
+        naive.add_production(production)
+    wmes = {}
+    timestamp = 0
+    for step, op in enumerate(case.script):
+        if op[0] == "add":
+            _, wid, cls, payload = op
+            timestamp += 1
+            wme = WME(wid, cls, dict(payload), timestamp=timestamp)
+            wmes[wid] = wme
+            rete.add_wme(wme)
+            naive.add_wme(wme)
+        else:
+            wme = wmes.pop(op[1])
+            rete.remove_wme(wme)
+            naive.remove_wme(wme)
+        if _conflict_signature(rete) != _conflict_signature(naive):
+            return (f"conflict sets diverged after step {step} "
+                    f"({op[0]} wme {op[1]})")
+    return None
+
+
+#: The full matrix, in execution order.
+ORACLES: Tuple[Oracle, ...] = (
+    Oracle("opt_vs_reference", "trace", opt_vs_reference),
+    Oracle("fault_null_dispatch", "trace", fault_null_dispatch),
+    Oracle("protocol_zero_fault", "trace", protocol_zero_fault),
+    Oracle("recorder_invisible", "trace", recorder_invisible),
+    Oracle("cache_round_trip", "trace", cache_round_trip),
+    Oracle("parallel_vs_serial", "trace", parallel_vs_serial, every=25),
+    Oracle("rete_vs_naive", "program", rete_vs_naive),
+)
+
+
+def run_oracles(case: CheckCase, *,
+                sample: bool = True) -> List[Tuple[str, str]]:
+    """All oracle failures for *case* as ``(oracle_name, detail)``.
+
+    With ``sample=False`` the ``every`` throttles are ignored — the
+    shrinker uses that to re-check a sampled oracle on every candidate.
+    """
+    kind = "program" if isinstance(case, ProgramCase) else "trace"
+    failures: List[Tuple[str, str]] = []
+    registry = get_registry()
+    for oracle in ORACLES:
+        if oracle.kind != kind:
+            continue
+        if sample and oracle.every > 1 \
+                and case.index % oracle.every != 0:
+            continue
+        registry.counter("check.oracle_runs").inc()
+        detail = oracle.fn(case)
+        if detail is not None:
+            failures.append((oracle.name, detail))
+    return failures

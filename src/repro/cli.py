@@ -442,6 +442,46 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    from .check import mutated_right_token_cost, run_check
+    if args.budget < 1:
+        raise CLIError(f"--budget must be >= 1, got {args.budget}")
+
+    def progress(case, failures):
+        if failures:
+            names = ", ".join(name for name, _ in failures)
+            print(f"FAIL case {case.index} ({case.family}): {names}",
+                  file=sys.stderr)
+        elif args.verbosity:
+            print(f"ok case {case.index} ({case.family})",
+                  file=sys.stderr)
+
+    def run():
+        return run_check(seed=args.seed, budget=args.budget,
+                         out_dir=args.out, progress=progress)
+
+    if args.mutate:
+        # Deliberately mis-price the optimized loop: a harness that
+        # still exits 0 under --mutate is broken.
+        with mutated_right_token_cost(args.mutate):
+            report = run()
+    else:
+        report = run()
+
+    if args.json:
+        json.dump(report.to_dict(), sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(f"checked {report.cases_run} cases "
+              f"(seed {report.seed}) in {report.elapsed_s:.2f}s: "
+              f"{len(report.failures)} failing")
+        for failure in report.failures:
+            print(f"  {failure.describe()}")
+            if failure.repro_path:
+                print(f"    repro: {failure.repro_path}")
+    return 0 if report.ok else 1
+
+
 def cmd_run(args) -> int:
     from .ops5 import Interpreter, parse_program
     from .rete import ReteNetwork
@@ -674,6 +714,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="list every production firing")
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "check",
+        help="run the differential-oracle conformance harness",
+        description="Generate seeded adversarial traces and OPS5 "
+                    "programs, run every oracle pair and invariant on "
+                    "each, and shrink any failure to a minimal repro. "
+                    "Exits 1 if anything fails.",
+        parents=[verb])
+    p.add_argument("--seed", type=int, default=0,
+                   help="root seed of the case stream (default 0)")
+    p.add_argument("--budget", type=positive_int, default=200,
+                   metavar="N",
+                   help="number of generated cases (default 200)")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="write minimal-repro JSON files here on failure")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON on stdout")
+    p.add_argument("--mutate", type=float, default=0.0,
+                   metavar="US", help=argparse.SUPPRESS)
+    p.set_defaults(fn=cmd_check)
 
     return parser
 

@@ -52,6 +52,15 @@ from .metrics import CycleResult, SimResult
 #: greedy distribution, which the paper recomputed every cycle).
 MappingFactory = Callable[[CycleTrace], BucketMapping]
 
+#: Test-only mis-pricing hook for the conformance harness
+#: (:mod:`repro.check`).  When nonzero, the optimized event loop — and
+#: only it; the reference loop, the fault/protocol loop and the recorded
+#: mirror all ignore it — charges right tokens this many extra
+#: microseconds.  The harness's mutation smoke test sets it (via
+#: :func:`repro.check.mutate_cost`) to prove the oracle matrix catches a
+#: mis-priced cost constant.  Never set it outside tests.
+_TEST_MUTATE_RIGHT_TOKEN_US = 0.0
+
 
 def bucket_work(cycle: CycleTrace,
                 costs: CostModel = DEFAULT_COSTS) -> Dict[BucketKey, float]:
@@ -257,7 +266,7 @@ def _simulate_cycle(cycle: CycleTrace, n_procs: int, costs: CostModel,
     recv_us = overheads.recv_us
     latency_us = overheads.latency_us
     left_us = costs.left_token_us
-    right_us = costs.right_token_us
+    right_us = costs.right_token_us + _TEST_MUTATE_RIGHT_TOKEN_US
     successor_us = costs.successor_us
     acts = cycle.activations
     get_extra = (search_costs or {}).get

@@ -3,9 +3,11 @@
 This package is deliberately dependency-free (stdlib only) and imported
 by every layer of the harness — the trace cache counts hits and misses,
 the parallel sweep engine counts worker crashes and recovered points,
-the CLI routes its warnings through one configurable logger — so a
-single ``repro cache-stats`` or ``-v`` flag surfaces what the whole
-stack did.
+the conformance harness counts its progress (``check.cases``,
+``check.failures``, ``check.oracle_runs``, ``check.invariant_runs``,
+``check.shrink_evals``), the CLI routes its warnings through one
+configurable logger — so a single ``repro cache-stats`` or ``-v`` flag
+surfaces what the whole stack did.
 
 * :mod:`~repro.obs.metrics` — process-local counters and histograms,
   collected in a named registry and snapshotted as plain dicts.

@@ -235,51 +235,47 @@ def insert_dummy_nodes(trace: SectionTrace, node_id: int,
     for cycle in trace:
         new_cycle = CycleTrace(index=cycle.index)
         next_extra = cycle.max_act_id() + 1
+        # Plan first, emit second: an activation can be both a split
+        # site and the child of one (chained activations at node_id),
+        # so the re-parenting map must be complete before any copy is
+        # written out.
+        reparent: Dict[int, int] = {}
+        dummies_of: Dict[int, List[TraceActivation]] = {}
         for act in cycle:
-            if (act.node_id == node_id and act.kind != KIND_TERMINAL
+            if not (act.node_id == node_id and act.kind != KIND_TERMINAL
                     and act.n_successors > 1):
-                groups: List[List[int]] = [[] for _ in range(parts)]
-                for i, succ_id in enumerate(act.successors):
-                    groups[i * parts // len(act.successors)].append(succ_id)
-                dummy_act_ids: List[int] = []
-                for part, group in enumerate(groups):
-                    if not group:
-                        continue
-                    dummy_node = dummy_ids[part]
-                    dummy = TraceActivation(
-                        act_id=next_extra, parent_id=act.act_id,
-                        node_id=dummy_node, kind=KIND_JOIN, side="left",
-                        tag=act.tag,
-                        key=BucketKey(dummy_node, act.key.values),
-                        successors=tuple(group))
-                    dummy_act_ids.append(next_extra)
-                    next_extra += 1
-                    new_cycle.add(dummy)
-                    for succ_id in group:
-                        succ = cycle.activations[succ_id]
-                        new_cycle.add(TraceActivation(
-                            act_id=succ.act_id, parent_id=dummy.act_id,
-                            node_id=succ.node_id, kind=succ.kind,
-                            side=succ.side, tag=succ.tag, key=succ.key,
-                            successors=succ.successors))
-                new_cycle.add(TraceActivation(
-                    act_id=act.act_id, parent_id=act.parent_id,
-                    node_id=act.node_id, kind=act.kind, side=act.side,
-                    tag=act.tag, key=act.key,
-                    successors=tuple(dummy_act_ids)))
-                # (ids are repaired by _renumber_cycle below: the dummies
-                # were given ids larger than the successors they adopt)
-            elif (act.parent_id is not None
-                  and cycle.activations[act.parent_id].node_id == node_id
-                  and cycle.activations[act.parent_id].kind
-                  != KIND_TERMINAL
-                  and cycle.activations[act.parent_id].n_successors > 1):
-                # Re-parented under a dummy in the branch above.
                 continue
-            else:
-                new_cycle.add(TraceActivation(
-                    act_id=act.act_id, parent_id=act.parent_id,
-                    node_id=act.node_id, kind=act.kind, side=act.side,
-                    tag=act.tag, key=act.key, successors=act.successors))
+            groups: List[List[int]] = [[] for _ in range(parts)]
+            for i, succ_id in enumerate(act.successors):
+                groups[i * parts // len(act.successors)].append(succ_id)
+            dummies: List[TraceActivation] = []
+            for part, group in enumerate(groups):
+                if not group:
+                    continue
+                dummy_node = dummy_ids[part]
+                dummy = TraceActivation(
+                    act_id=next_extra, parent_id=act.act_id,
+                    node_id=dummy_node, kind=KIND_JOIN, side="left",
+                    tag=act.tag,
+                    key=BucketKey(dummy_node, act.key.values),
+                    successors=tuple(group))
+                next_extra += 1
+                dummies.append(dummy)
+                for succ_id in group:
+                    reparent[succ_id] = dummy.act_id
+            dummies_of[act.act_id] = dummies
+        for act in cycle:
+            dummies = dummies_of.get(act.act_id)
+            new_cycle.add(TraceActivation(
+                act_id=act.act_id,
+                parent_id=reparent.get(act.act_id, act.parent_id),
+                node_id=act.node_id, kind=act.kind, side=act.side,
+                tag=act.tag, key=act.key,
+                successors=(tuple(d.act_id for d in dummies)
+                            if dummies is not None else act.successors)))
+            for dummy in dummies or ():
+                new_cycle.add(dummy)
+        # (ids are repaired by _renumber_cycle below: the dummies were
+        # given ids larger than the successors they adopt)
         out.cycles.append(_renumber_cycle(new_cycle))
     return out

@@ -3,7 +3,7 @@
 import math
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.analysis import (BucketModel, expected_max_load,
@@ -101,7 +101,6 @@ class TestBucketModel:
             imbalance_factor(64, 8, trials=500)
 
 
-@settings(max_examples=30, deadline=None)
 @given(m=st.integers(min_value=1, max_value=12),
        p=st.integers(min_value=1, max_value=4))
 def test_exact_max_matches_brute_force(m, p):

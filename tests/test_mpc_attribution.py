@@ -7,7 +7,7 @@ time ``n_procs * makespan - sum(proc_busy)``.
 """
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.mpc import (FailStop, FaultModel, StallWindow,
@@ -139,7 +139,6 @@ class TestReport:
         assert payload["longest_cycle"]["critical_path"]
 
 
-@settings(max_examples=35, deadline=None)
 @given(trace=random_traces(),
        n_procs=st.integers(min_value=1, max_value=12))
 def test_property_categories_always_partition(trace, n_procs):
@@ -157,7 +156,6 @@ def test_property_categories_always_partition(trace, n_procs):
                    for v in attribution.idle_by_category.values())
 
 
-@settings(max_examples=20, deadline=None)
 @given(trace=random_traces(),
        loss=st.sampled_from([0.0, 0.2]),
        n_procs=st.integers(min_value=2, max_value=8))

@@ -14,7 +14,7 @@ The two load-bearing contracts, both pinned here:
 import dataclasses
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.mpc import (DEFAULT_PROTOCOL, TABLE_5_1, FailStop, FaultModel,
@@ -229,7 +229,6 @@ class TestStallsAndFailStop:
 # --- property tests over hypothesis-generated traces -----------------------
 
 
-@settings(max_examples=50, deadline=None)
 @given(trace=random_traces(),
        n_procs=st.integers(min_value=1, max_value=16),
        seed=st.integers(min_value=0, max_value=10),
@@ -248,7 +247,6 @@ def test_same_seed_bit_identical_on_random_traces(trace, n_procs, seed,
     assert_results_identical(a, b)
 
 
-@settings(max_examples=50, deadline=None)
 @given(trace=random_traces(),
        n_procs=st.integers(min_value=1, max_value=16))
 def test_zero_fault_equals_fault_free_on_random_traces(trace, n_procs):
@@ -258,7 +256,6 @@ def test_zero_fault_equals_fault_free_on_random_traces(trace, n_procs):
     assert_results_identical(plain, nulled)
 
 
-@settings(max_examples=40, deadline=None)
 @given(trace=random_traces(),
        n_procs=st.integers(min_value=1, max_value=16),
        seed=st.integers(min_value=0, max_value=5))
@@ -275,7 +272,6 @@ def test_faults_never_beat_the_perfect_network(trace, n_procs, seed):
     assert faulty.n_messages >= plain.n_messages
 
 
-@settings(max_examples=40, deadline=None)
 @given(trace=random_traces(),
        n_procs=st.integers(min_value=1, max_value=8),
        seed=st.integers(min_value=0, max_value=5))

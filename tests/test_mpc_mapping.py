@@ -1,7 +1,7 @@
 """Unit tests for bucket-to-processor distribution strategies."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.mpc import (ExplicitMapping, RandomMapping, RoundRobinMapping,
@@ -110,7 +110,6 @@ class TestGreedy:
         assert greedy_assignment({}, 4) == {}
 
 
-@settings(max_examples=50, deadline=None)
 @given(n_procs=st.integers(min_value=1, max_value=32),
        weights=st.lists(st.floats(min_value=0.1, max_value=1000),
                         min_size=1, max_size=60))

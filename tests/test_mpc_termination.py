@@ -1,0 +1,123 @@
+"""Unit coverage for the termination-detection cost models."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpc import (TABLE_5_1, ZERO_OVERHEADS, OverheadModel,
+                       TerminationScheme, apply_termination,
+                       detection_delay, simulate,
+                       termination_overhead_fraction)
+from repro.workloads import weaver_section
+
+NECTAR = TABLE_5_1[1]  # send 5, recv 3, latency 0.5
+HOP = NECTAR.send_us + NECTAR.latency_us + NECTAR.recv_us
+
+schemes = st.sampled_from(list(TerminationScheme))
+overhead_rows = st.sampled_from((ZERO_OVERHEADS,) + TABLE_5_1)
+
+
+class TestDetectionDelay:
+    def test_ideal_is_free(self):
+        for overheads in (ZERO_OVERHEADS,) + TABLE_5_1:
+            assert detection_delay(TerminationScheme.IDEAL, 32,
+                                   overheads) == 0.0
+
+    def test_barrier_serializes_receives_at_control(self):
+        # One send+latency to get the first report in, then the control
+        # processor consumes the P reports back to back.
+        delay = detection_delay(TerminationScheme.BARRIER, 8, NECTAR)
+        assert delay == NECTAR.send_us + NECTAR.latency_us \
+            + 8 * NECTAR.recv_us
+
+    def test_barrier_free_messages_are_free(self):
+        # hop == 0 means reports cost nothing even serialized.
+        assert detection_delay(TerminationScheme.BARRIER, 32,
+                               ZERO_OVERHEADS) == 0.0
+
+    def test_ring_is_one_clean_round_plus_report(self):
+        delay = detection_delay(TerminationScheme.RING, 8, NECTAR)
+        assert delay == (8 + 1) * HOP
+
+    def test_tree_prices_log2_levels_plus_report(self):
+        for n_procs in (2, 3, 4, 5, 8, 32):
+            levels = math.ceil(math.log2(n_procs))
+            assert detection_delay(TerminationScheme.TREE, n_procs,
+                                   NECTAR) == (levels + 1) * HOP
+
+    def test_single_processor_degenerate_cases(self):
+        # One processor: no merging to do; the tree and ring collapse
+        # to a single report, the barrier to one send/recv.
+        assert detection_delay(TerminationScheme.TREE, 1, NECTAR) == HOP
+        assert detection_delay(TerminationScheme.RING, 1, NECTAR) \
+            == 2 * HOP
+        assert detection_delay(TerminationScheme.BARRIER, 1, NECTAR) \
+            == NECTAR.send_us + NECTAR.latency_us + NECTAR.recv_us
+
+    def test_rejects_nonpositive_processor_counts(self):
+        for scheme in TerminationScheme:
+            with pytest.raises(ValueError):
+                detection_delay(scheme, 0, NECTAR)
+            with pytest.raises(ValueError):
+                detection_delay(scheme, -3, NECTAR)
+
+    @given(scheme=schemes, n_procs=st.integers(1, 64),
+           overheads=overhead_rows)
+    def test_delay_is_never_negative(self, scheme, n_procs, overheads):
+        assert detection_delay(scheme, n_procs, overheads) >= 0.0
+
+    @given(n_procs=st.integers(2, 64), overheads=overhead_rows)
+    def test_tree_never_beats_nor_loses_to_structure(self, n_procs,
+                                                     overheads):
+        # The tree's latency grows like log P, the ring's like P: for
+        # P >= 2 the tree is never slower than the ring.
+        tree = detection_delay(TerminationScheme.TREE, n_procs, overheads)
+        ring = detection_delay(TerminationScheme.RING, n_procs, overheads)
+        assert tree <= ring
+
+
+class TestApplyTermination:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return simulate(weaver_section(), n_procs=8, overheads=NECTAR)
+
+    def test_adds_delay_to_every_cycle(self, result):
+        priced = apply_termination(result, TerminationScheme.RING, NECTAR)
+        delay = detection_delay(TerminationScheme.RING, 8, NECTAR)
+        assert len(priced.cycles) == len(result.cycles)
+        for before, after in zip(result.cycles, priced.cycles):
+            assert after.makespan_us == before.makespan_us + delay
+        assert priced.total_us == pytest.approx(
+            result.total_us + len(result.cycles) * delay)
+
+    def test_only_makespan_changes(self, result):
+        priced = apply_termination(result, TerminationScheme.TREE, NECTAR)
+        for before, after in zip(result.cycles, priced.cycles):
+            assert after.n_messages == before.n_messages
+            assert after.proc_busy_us == before.proc_busy_us
+            assert after.proc_activations == before.proc_activations
+
+    def test_ideal_is_identity_on_totals(self, result):
+        priced = apply_termination(result, TerminationScheme.IDEAL,
+                                   NECTAR)
+        assert priced.total_us == result.total_us
+
+    def test_overhead_fraction_in_unit_interval(self, result):
+        for scheme in TerminationScheme:
+            fraction = termination_overhead_fraction(result, scheme,
+                                                     NECTAR)
+            assert 0.0 <= fraction < 1.0
+
+    def test_overhead_fraction_matches_definition(self, result):
+        fraction = termination_overhead_fraction(
+            result, TerminationScheme.BARRIER, NECTAR)
+        priced = apply_termination(result, TerminationScheme.BARRIER,
+                                   NECTAR)
+        assert fraction == pytest.approx(
+            1.0 - result.total_us / priced.total_us)
+
+    def test_ideal_fraction_is_zero(self, result):
+        assert termination_overhead_fraction(
+            result, TerminationScheme.IDEAL, NECTAR) == 0.0

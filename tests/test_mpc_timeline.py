@@ -9,7 +9,7 @@ busy sums, control busy, network busy, and the makespan.
 import json
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.mpc import (FaultModel, OverheadModel, ProtocolModel,
@@ -117,7 +117,6 @@ class TestReconciliation:
             cycle_timeline.reconcile(cycle_result)
 
 
-@settings(max_examples=40, deadline=None)
 @given(trace=random_traces(),
        n_procs=st.integers(min_value=1, max_value=12))
 def test_recorder_never_changes_results(trace, n_procs):
@@ -133,7 +132,6 @@ def test_recorder_never_changes_results(trace, n_procs):
         cycle_timeline.reconcile(cycle_result)
 
 
-@settings(max_examples=25, deadline=None)
 @given(trace=random_traces(),
        n_procs=st.integers(min_value=1, max_value=8),
        loss=st.sampled_from([0.0, 0.1, 0.5]))

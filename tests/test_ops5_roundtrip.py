@@ -6,7 +6,7 @@ has historically been the test that finds quoting and precedence bugs.
 """
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.ops5 import (AttrTest, BindAction, ComputeExpr,
@@ -112,7 +112,6 @@ def productions(draw):
                       rhs=tuple(actions))
 
 
-@settings(max_examples=300, deadline=None)
 @given(production=productions())
 def test_print_parse_roundtrip(production):
     source = str(production)
@@ -120,7 +119,6 @@ def test_print_parse_roundtrip(production):
     assert reparsed == production, source
 
 
-@settings(max_examples=100, deadline=None)
 @given(production=productions())
 def test_double_roundtrip_is_stable(production):
     once = parse_production(str(production))

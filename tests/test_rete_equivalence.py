@@ -10,7 +10,7 @@ make about the incremental engine.
 from typing import List
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.ops5 import NaiveMatcher, parse_production
@@ -84,7 +84,6 @@ def rule_subsets(draw):
     return [PRODUCTION_SOURCES[i] for i in indices]
 
 
-@settings(max_examples=200, deadline=None)
 @given(rules=rule_subsets(), script=churn_scripts())
 def test_rete_equals_naive_under_churn(rules, script):
     rete = ReteNetwork()
@@ -111,7 +110,6 @@ def test_rete_equals_naive_under_churn(rules, script):
         assert conflict_signature(rete) == conflict_signature(naive)
 
 
-@settings(max_examples=100, deadline=None)
 @given(rules=rule_subsets(), script=churn_scripts())
 def test_memories_empty_after_removing_everything(rules, script):
     """State-saving invariant: removing all wmes drains all memory."""
@@ -135,7 +133,6 @@ def test_memories_empty_after_removing_everything(rules, script):
     assert rete.conflict_set() == []
 
 
-@settings(max_examples=100, deadline=None)
 @given(rules=rule_subsets(), script=churn_scripts())
 def test_unshared_network_equals_shared(rules, script):
     """Unsharing (Fig 5-3) must not change match semantics."""

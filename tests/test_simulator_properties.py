@@ -7,7 +7,7 @@ more overhead never helping, determinism, and serialization consistency.
 """
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.mpc import (CostModel, OverheadModel, ZERO_OVERHEADS,
@@ -63,7 +63,6 @@ def random_traces(draw):
     return trace
 
 
-@settings(max_examples=80, deadline=None)
 @given(trace=random_traces(),
        n_procs=st.integers(min_value=1, max_value=16))
 def test_speedup_bounded_and_positive(trace, n_procs):
@@ -74,7 +73,6 @@ def test_speedup_bounded_and_positive(trace, n_procs):
     assert 0 < s <= n_procs + 1e-9
 
 
-@settings(max_examples=60, deadline=None)
 @given(trace=random_traces(),
        n_procs=st.integers(min_value=2, max_value=16))
 def test_work_conservation_zero_overheads(trace, n_procs):
@@ -88,7 +86,6 @@ def test_work_conservation_zero_overheads(trace, n_procs):
     assert busy == pytest.approx(expected)
 
 
-@settings(max_examples=60, deadline=None)
 @given(trace=random_traces(),
        n_procs=st.integers(min_value=1, max_value=16))
 def test_overheads_never_help(trace, n_procs):
@@ -99,7 +96,6 @@ def test_overheads_never_help(trace, n_procs):
     assert heavy.total_us >= light.total_us - 1e-9
 
 
-@settings(max_examples=60, deadline=None)
 @given(trace=random_traces(),
        n_procs=st.integers(min_value=1, max_value=16),
        seed=st.integers(min_value=0, max_value=3))
@@ -113,7 +109,6 @@ def test_determinism(trace, n_procs, seed):
         [c.proc_busy_us for c in b.cycles]
 
 
-@settings(max_examples=60, deadline=None)
 @given(trace=random_traces())
 def test_cycle_times_sum(trace):
     run = simulate(trace, n_procs=4)
@@ -121,7 +116,6 @@ def test_cycle_times_sum(trace):
         sum(c.makespan_us for c in run.cycles))
 
 
-@settings(max_examples=60, deadline=None)
 @given(trace=random_traces())
 def test_single_proc_zero_overhead_equals_base(trace):
     base = simulate_base(trace)
@@ -129,7 +123,6 @@ def test_single_proc_zero_overhead_equals_base(trace):
     assert run.total_us == pytest.approx(base.total_us)
 
 
-@settings(max_examples=50, deadline=None)
 @given(trace=random_traces())
 def test_trace_format_roundtrip_preserves_simulation(trace):
     """Serializing and re-reading a trace must not change any timing."""
@@ -139,7 +132,6 @@ def test_trace_format_roundtrip_preserves_simulation(trace):
     assert a.total_us == pytest.approx(b.total_us)
 
 
-@settings(max_examples=40, deadline=None)
 @given(trace=random_traces(),
        n=st.integers(min_value=1, max_value=8))
 def test_variant_simulators_accept_any_valid_trace(trace, n):
@@ -150,7 +142,6 @@ def test_variant_simulators_accept_any_valid_trace(trace, n):
     assert simulate_master_copy(trace, n).total_us > 0
 
 
-@settings(max_examples=40, deadline=None)
 @given(trace=random_traces(),
        n_procs=st.integers(min_value=1, max_value=16))
 def test_activation_counts_complete(trace, n_procs):

@@ -3,7 +3,7 @@
 import io
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.ops5 import parse_program
@@ -117,7 +117,6 @@ values = st.one_of(
 )
 
 
-@settings(max_examples=150, deadline=None)
 @given(vals=st.lists(values, max_size=4),
        tag=st.sampled_from("+-"),
        side=st.sampled_from(["left", "right"]),

@@ -10,7 +10,7 @@ random valid traces and requires the validator to object.
 import random
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.rete.hashing import BucketKey
@@ -128,7 +128,6 @@ def test_each_mutator_detected(mutator):
     assert problems, f"{mutator.__name__} slipped past the validator"
 
 
-@settings(max_examples=60, deadline=None)
 @given(seed=st.integers(min_value=0, max_value=50),
        mutator_index=st.integers(min_value=0,
                                  max_value=len(MUTATORS) - 1),

@@ -1,7 +1,7 @@
 """Tests (incl. property-based) for the parameterized section generator."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.mpc import simulate, simulate_base, speedup
@@ -109,7 +109,6 @@ class TestShapeEffects:
         assert loss(left=200, right=1800) < loss(left=1800, right=200)
 
 
-@settings(max_examples=40, deadline=None)
 @given(
     cycles=st.integers(min_value=1, max_value=5),
     rights=st.integers(min_value=0, max_value=800),
