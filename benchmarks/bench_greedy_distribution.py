@@ -12,7 +12,8 @@ import pytest
 from conftest import once
 from repro.analysis import format_table
 from repro.mpc import (BucketWorkCache, GreedyMappingFactory,
-                       RandomMapping, simulate, simulate_base, speedup)
+                       RandomMapping, RunConfig, simulate, simulate_base,
+                       simulate_config, speedup)
 
 PROCS = [16, 32]
 
@@ -24,12 +25,13 @@ def run_strategies(trace, base):
     work_cache = BucketWorkCache()
     for n_procs in PROCS:
         rr = simulate(trace, n_procs=n_procs)
-        rnd = simulate(trace, n_procs=n_procs,
-                       mapping=RandomMapping(n_procs=n_procs, seed=1))
-        greedy = simulate(
-            trace, n_procs=n_procs,
+        rnd = simulate_config(trace, RunConfig(
+            n_procs=n_procs,
+            mapping=RandomMapping(n_procs=n_procs, seed=1)))
+        greedy = simulate_config(trace, RunConfig(
+            n_procs=n_procs,
             mapping_factory=GreedyMappingFactory(n_procs,
-                                                 work_cache=work_cache))
+                                                 work_cache=work_cache)))
         rows.append((n_procs, speedup(base, rr), speedup(base, rnd),
                      speedup(base, greedy), rr.total_us / greedy.total_us))
     return rows

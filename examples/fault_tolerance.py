@@ -18,9 +18,9 @@ This example walks the three levels of the API:
 Run:  python examples/fault_tolerance.py
 """
 
-from repro.mpc import (TABLE_5_1, FailStop, FaultModel, StallWindow,
-                       fault_sweep, format_degradation, simulate,
-                       simulate_base, speedup)
+from repro.mpc import (TABLE_5_1, FailStop, FaultModel, RunConfig,
+                       StallWindow, fault_sweep, format_degradation,
+                       simulate, simulate_base, simulate_config, speedup)
 from repro.workloads import rubik_section
 
 N_PROCS = 16
@@ -32,16 +32,16 @@ def single_run(trace) -> None:
     base = simulate_base(trace)
     clean = simulate(trace, n_procs=N_PROCS, overheads=OVERHEADS)
     faults = FaultModel(seed=42, loss_prob=0.01, jitter_us=5.0)
-    faulty = simulate(trace, n_procs=N_PROCS, overheads=OVERHEADS,
-                      faults=faults)
+    config = RunConfig(n_procs=N_PROCS, overheads=OVERHEADS,
+                       faults=faults)
+    faulty = simulate_config(trace, config)
     print(f"fault-free: speedup {speedup(base, clean):.2f}x")
     print(f"1% loss:    speedup {speedup(base, faulty):.2f}x"
           f"  ({faulty.fault_summary()})")
 
     # Same seed => bit-identical result; different seed => different
     # messages are lost, but the same order of magnitude of them.
-    rerun = simulate(trace, n_procs=N_PROCS, overheads=OVERHEADS,
-                     faults=faults)
+    rerun = simulate_config(trace, config)
     assert rerun.cycles == faulty.cycles, "determinism broken!"
     print("rerun with the same seed is bit-identical: yes\n")
 
@@ -66,14 +66,14 @@ def deterministic_disasters(trace) -> None:
     # (e.g. servicing another device on a shared node).
     stall = FaultModel(stalls=(StallWindow(proc=3, start_us=0.0,
                                            end_us=200.0),))
-    stalled = simulate(trace, n_procs=N_PROCS, overheads=OVERHEADS,
-                       faults=stall)
+    stalled = simulate_config(trace, RunConfig(
+        n_procs=N_PROCS, overheads=OVERHEADS, faults=stall))
 
     # Processor 5 fail-stops at the start of cycle 2 and takes 10 ms
     # to restart and restore its hash-table partition from checkpoint.
     crash = FaultModel(failures=(FailStop(proc=5, cycle=2),))
-    crashed = simulate(trace, n_procs=N_PROCS, overheads=OVERHEADS,
-                       faults=crash)
+    crashed = simulate_config(trace, RunConfig(
+        n_procs=N_PROCS, overheads=OVERHEADS, faults=crash))
 
     print(f"clean run:          {speedup(base, clean):.2f}x")
     print(f"recurring stall:    {speedup(base, stalled):.2f}x "

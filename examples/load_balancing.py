@@ -11,7 +11,8 @@ Run:  python examples/load_balancing.py
 
 from repro.analysis import (BucketModel, format_table, imbalance_factor)
 from repro.mpc import (BucketWorkCache, GreedyMappingFactory,
-                       RandomMapping, simulate, simulate_base, speedup)
+                       RandomMapping, RunConfig, simulate, simulate_base,
+                       simulate_config, speedup)
 from repro.workloads import rubik_section, tourney_section
 
 PROCS = [8, 16, 32]
@@ -25,12 +26,13 @@ def compare_strategies(trace) -> None:
     work_cache = BucketWorkCache()
     for n_procs in PROCS:
         rr = simulate(trace, n_procs=n_procs)
-        rnd = simulate(trace, n_procs=n_procs,
-                       mapping=RandomMapping(n_procs=n_procs, seed=1))
-        greedy = simulate(
-            trace, n_procs=n_procs,
+        rnd = simulate_config(trace, RunConfig(
+            n_procs=n_procs,
+            mapping=RandomMapping(n_procs=n_procs, seed=1)))
+        greedy = simulate_config(trace, RunConfig(
+            n_procs=n_procs,
             mapping_factory=GreedyMappingFactory(n_procs,
-                                                 work_cache=work_cache))
+                                                 work_cache=work_cache)))
         rows.append([n_procs, speedup(base, rr), speedup(base, rnd),
                      speedup(base, greedy),
                      f"{rr.total_us / greedy.total_us:.2f}x"])

@@ -23,9 +23,10 @@ import json
 import pathlib
 import tempfile
 
-from repro.mpc import (TABLE_5_1, TimelineRecorder, attribute_timeline,
-                       critical_path, format_attribution, gantt,
-                       simulate, write_chrome_trace)
+from repro.mpc import (TABLE_5_1, RunConfig, TimelineRecorder,
+                       attribute_timeline, critical_path,
+                       format_attribution, gantt, simulate,
+                       simulate_config, write_chrome_trace)
 from repro.workloads import weaver_section
 
 N_PROCS = 16
@@ -36,8 +37,8 @@ def record(trace):
     print("--- 1. record a run (recording must be invisible) ---")
     base = simulate(trace, n_procs=N_PROCS, overheads=OVERHEADS)
     recorder = TimelineRecorder()
-    result = simulate(trace, n_procs=N_PROCS, overheads=OVERHEADS,
-                      recorder=recorder)
+    result = simulate_config(trace, RunConfig(
+        n_procs=N_PROCS, overheads=OVERHEADS, recorder=recorder))
     assert result == base, "recorder changed the simulation!"
     timeline = recorder.timeline
     n_spans = sum(len(c.spans) for c in timeline.cycles)

@@ -213,14 +213,15 @@ def diagnose_measured(trace: SectionTrace, n_procs: int = 16,
     static detectors above approximate: the simulator *measures* which
     limiter actually dominates.
     """
-    from ..mpc import attribute_timeline, simulate
+    from ..mpc import RunConfig, attribute_timeline, simulate_config
     from ..mpc.costmodel import TABLE_5_1
     from ..mpc.timeline import TimelineRecorder
     if overheads is None:
         overheads = next(o for o in TABLE_5_1 if o.total_us == 8)
     recorder = TimelineRecorder()
-    simulate(trace, n_procs=n_procs, overheads=overheads,
-             recorder=recorder)
+    simulate_config(trace, RunConfig(n_procs=n_procs,
+                                     overheads=overheads,
+                                     recorder=recorder))
     section = attribute_timeline(recorder.timeline)
     shares = section.idle_shares()
     idle_by_category = section.idle_by_category()

@@ -45,7 +45,8 @@ import random
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
-from ..mpc import TABLE_5_1, ZERO_OVERHEADS, simulate, simulate_base
+from ..mpc import (TABLE_5_1, ZERO_OVERHEADS, RunConfig, simulate,
+                   simulate_base, simulate_config)
 from ..mpc.attribution import attribute_timeline
 from ..mpc.mapping import RandomMapping
 from ..mpc.simulator import GreedyMappingFactory
@@ -90,11 +91,12 @@ def work_conservation(case: TraceCase) -> Optional[str]:
     runs = {
         "round_robin": simulate(case.trace, n_procs,
                                 overheads=ZERO_OVERHEADS),
-        "random": simulate(case.trace, n_procs, overheads=ZERO_OVERHEADS,
-                           mapping=RandomMapping(n_procs,
-                                                 seed=case.index)),
-        "greedy": simulate(case.trace, n_procs, overheads=ZERO_OVERHEADS,
-                           mapping_factory=GreedyMappingFactory(n_procs)),
+        "random": simulate_config(case.trace, RunConfig(
+            n_procs=n_procs, overheads=ZERO_OVERHEADS,
+            mapping=RandomMapping(n_procs, seed=case.index))),
+        "greedy": simulate_config(case.trace, RunConfig(
+            n_procs=n_procs, overheads=ZERO_OVERHEADS,
+            mapping_factory=GreedyMappingFactory(n_procs))),
     }
     base_name, base = next(iter(runs.items()))
     for name, run in runs.items():
@@ -138,7 +140,8 @@ def attribution_partition(case: TraceCase) -> Optional[str]:
     n_procs = rng.choice(_PROC_CHOICES)
     overheads = rng.choice((ZERO_OVERHEADS,) + TABLE_5_1)
     recorder = TimelineRecorder()
-    simulate(case.trace, n_procs, overheads=overheads, recorder=recorder)
+    simulate_config(case.trace, RunConfig(
+        n_procs=n_procs, overheads=overheads, recorder=recorder))
     attribution = attribute_timeline(recorder.timeline)
     try:
         for cycle in attribution.cycles:

@@ -8,7 +8,7 @@ paths that are documented to produce *identical* results.  The pairs:
     preserved original loop (:mod:`repro.mpc._reference`), field for
     field on every cycle.
 ``fault_null_dispatch``
-    ``simulate(faults=<null FaultModel>)`` must dispatch onto the exact
+    ``RunConfig(faults=<null FaultModel>)`` must dispatch onto the exact
     fault-free path: bit-identical results, fault counters included.
 ``protocol_zero_fault``
     The raw fault/protocol loop run with a null fault model prices acks
@@ -20,6 +20,14 @@ paths that are documented to produce *identical* results.  The pairs:
     Passing a :class:`~repro.mpc.timeline.TimelineRecorder` must not
     change any result field (the recorded loop is a mirror of the fast
     one).
+``actors_vs_sim``
+    The live actor backend (:mod:`repro.exec.actors`) against the
+    discrete simulator: identical match signatures — per-processor
+    activation counts, message counts, conflict-set deliveries — for
+    the same ``(trace, config)``.  Timing fields are wall time on the
+    live run and model time on the simulated one, so they are reported
+    but never compared.  Declares ``every=5`` (an event loop per case
+    is not free).
 ``parallel_vs_serial``
     :func:`repro.mpc.parallel.run_grid` with worker processes returns
     the same results as the serial path.  Worker pools are expensive,
@@ -49,11 +57,11 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ..mpc import (DEFAULT_COSTS, TABLE_5_1, ZERO_OVERHEADS, FaultModel,
-                   simulate)
+                   RunConfig, simulate, simulate_config)
 from ..mpc._reference import simulate_reference
 from ..mpc.faults import DEFAULT_PROTOCOL, simulate_cycle_with_faults
 from ..mpc.mapping import RoundRobinMapping
-from ..mpc.parallel import GridPoint, run_grid
+from ..mpc.parallel import ENV_FORCE_POOL, GridPoint, run_grid
 from ..mpc.simulator import compute_search_costs
 from ..mpc.timeline import TimelineRecorder
 from ..obs import get_registry
@@ -138,8 +146,8 @@ def fault_null_dispatch(case: TraceCase) -> Optional[str]:
     null = FaultModel(seed=case.seed)
     assert null.is_null
     plain = simulate(case.trace, n_procs, overheads=overheads)
-    dispatched = simulate(case.trace, n_procs, overheads=overheads,
-                          faults=null)
+    dispatched = simulate_config(case.trace, RunConfig(
+        n_procs=n_procs, overheads=overheads, faults=null))
     diff = _diff_results(plain, dispatched)
     if diff:
         return f"null FaultModel changed the run at P={n_procs}, " \
@@ -171,8 +179,8 @@ def recorder_invisible(case: TraceCase) -> Optional[str]:
     n_procs, overheads = _pick_config(case, "recorder_invisible")
     plain = simulate(case.trace, n_procs, overheads=overheads)
     recorder = TimelineRecorder()
-    recorded = simulate(case.trace, n_procs, overheads=overheads,
-                        recorder=recorder)
+    recorded = simulate_config(case.trace, RunConfig(
+        n_procs=n_procs, overheads=overheads, recorder=recorder))
     diff = _diff_results(plain, recorded)
     if diff:
         return f"recorder changed the run at P={n_procs}, " \
@@ -187,11 +195,39 @@ def parallel_vs_serial(case: TraceCase) -> Optional[str]:
                                              + TABLE_5_1))
               for _ in range(4)]
     serial = run_grid(case.trace, points, workers=1)
-    pooled = run_grid(case.trace, points, workers=2)
+    # Force past the pool-benefit gate: the oracle exists to exercise
+    # the pool machinery, whatever the host's CPU count.
+    saved = os.environ.get(ENV_FORCE_POOL)
+    os.environ[ENV_FORCE_POOL] = "1"
+    try:
+        pooled = run_grid(case.trace, points, workers=2)
+    finally:
+        if saved is None:
+            del os.environ[ENV_FORCE_POOL]
+        else:
+            os.environ[ENV_FORCE_POOL] = saved
     for i, (a, b) in enumerate(zip(serial, pooled)):
         diff = _diff_results(a, b)
         if diff:
             return f"worker pool diverged on grid point {i}: {diff}"
+    return None
+
+
+def actors_vs_sim(case: TraceCase) -> Optional[str]:
+    from ..exec import match_signature, run
+    n_procs, overheads = _pick_config(case, "actors_vs_sim")
+    config = RunConfig(n_procs=n_procs, overheads=overheads)
+    sim = run(case.trace, config, backend="sim")
+    live = run(case.trace, config, backend="actors")
+    sim_sig, live_sig = match_signature(sim), match_signature(live)
+    if sim_sig != live_sig:
+        for i, (a, b) in enumerate(zip(sim_sig, live_sig)):
+            if a != b:
+                return (f"actor run diverged from simulator at "
+                        f"P={n_procs}, overheads={overheads.label()}, "
+                        f"cycle {i}: {a!r} != {b!r}")
+        return (f"actor run diverged from simulator at P={n_procs}: "
+                f"cycle counts {len(sim_sig)} vs {len(live_sig)}")
     return None
 
 
@@ -268,6 +304,7 @@ ORACLES: Tuple[Oracle, ...] = (
     Oracle("fault_null_dispatch", "trace", fault_null_dispatch),
     Oracle("protocol_zero_fault", "trace", protocol_zero_fault),
     Oracle("recorder_invisible", "trace", recorder_invisible),
+    Oracle("actors_vs_sim", "trace", actors_vs_sim, every=5),
     Oracle("cache_round_trip", "trace", cache_round_trip),
     Oracle("parallel_vs_serial", "trace", parallel_vs_serial, every=25),
     Oracle("rete_vs_naive", "program", rete_vs_naive),

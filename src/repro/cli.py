@@ -19,7 +19,9 @@ Commands
 ``trace``
     Generate a section trace and write it in the Fig 4-1 text format.
 ``run``
-    Execute an OPS5 source file on the Rete engine.
+    Run a section on an executor backend (``--backend sim`` /
+    ``actors`` / ``served``; live runs are cross-checked against the
+    simulator), or execute an OPS5 source file on the Rete engine.
 
 Examples
 --------
@@ -35,6 +37,8 @@ Examples
     python -m repro simulate --section weaver --procs 16 --json
     python -m repro trace --section weaver --out weaver.trace
     python -m repro simulate --trace-file weaver.trace --procs 16
+    python -m repro run --backend actors --section rubik --procs 2
+    python -m repro run --backend served --sessions 8 --procs 4
     python -m repro run my_program.ops --max-cycles 100
 
 Errors (an unreadable or malformed trace file, an invalid flag
@@ -51,9 +55,9 @@ import sys
 from typing import List, Optional
 
 from .analysis import format_table
-from .mpc import (TABLE_5_1, FaultModel, GridPoint, ProtocolModel,
-                  fault_sweep, format_degradation, run_grid,
-                  set_default_workers, simulate_base, speedup)
+from .mpc import (OVERHEADS, GridPoint, RunConfig, fault_sweep,
+                  format_degradation, run_grid, set_default_workers,
+                  simulate_base, speedup)
 from .obs import configure_logging
 from .trace import (TraceFormatError, TraceValidationError, read_trace,
                     save_trace, set_cache_enabled, validate_trace)
@@ -66,8 +70,6 @@ SECTIONS = {
     "tourney": tourney_section,
     "weaver": weaver_section,
 }
-
-OVERHEADS = {int(m.total_us): m for m in TABLE_5_1}
 
 
 class CLIError(Exception):
@@ -105,33 +107,14 @@ def _load_trace(args):
     return SECTIONS[args.section](args.seed)
 
 
-def _overheads(args):
-    overheads = OVERHEADS.get(args.overhead)
-    if overheads is None:
-        raise CLIError(f"--overhead must be one of {sorted(OVERHEADS)}")
-    return overheads
-
-
-def _fault_model(args, loss: Optional[float] = None) -> Optional[FaultModel]:
-    """Build the FaultModel requested by fault flags (None = fault-free)."""
-    rate = args.loss if loss is None else loss
-    if not 0.0 <= rate <= 1.0:
-        raise CLIError(f"--loss must be in [0, 1], got {rate:g}")
-    if not 0.0 <= args.dup <= 1.0:
-        raise CLIError(f"--dup must be in [0, 1], got {args.dup:g}")
-    if args.jitter < 0.0:
-        raise CLIError(f"--jitter must be >= 0, got {args.jitter:g}")
-    faults = FaultModel(seed=args.fault_seed, loss_prob=rate,
-                        dup_prob=args.dup, jitter_us=args.jitter)
-    return None if faults.is_null else faults
-
-
-def _protocol(args) -> Optional[ProtocolModel]:
-    if args.timeout <= 0.0:
-        raise CLIError(f"--timeout must be > 0, got {args.timeout:g}")
-    if args.retries < 0:
-        raise CLIError(f"--retries must be >= 0, got {args.retries}")
-    return ProtocolModel(timeout_us=args.timeout, max_retries=args.retries)
+def _run_config(args, **kwargs) -> RunConfig:
+    """Flag validation, shared with every backend: a RunConfig off the
+    argparse namespace (:meth:`repro.mpc.RunConfig.from_args`), with
+    ``ValueError`` re-raised as a one-line :class:`CLIError`."""
+    try:
+        return RunConfig.from_args(args, **kwargs)
+    except ValueError as err:
+        raise CLIError(str(err)) from err
 
 
 def _check_procs(procs) -> None:
@@ -155,10 +138,10 @@ def cmd_sections(args) -> int:
 
 def cmd_simulate(args) -> int:
     _check_procs(args.procs)
-    faults = _fault_model(args)
-    protocol = _protocol(args) if faults is not None else None
+    configs = [_run_config(args, n_procs=n) for n in args.procs]
+    faults = configs[0].faults
     trace = _load_trace(args)
-    overheads = _overheads(args)
+    overheads = configs[0].overheads
     if args.timeline and len(args.procs) != 1:
         raise CLIError("--timeline needs exactly one --procs value "
                        f"(got {len(args.procs)})")
@@ -166,17 +149,19 @@ def cmd_simulate(args) -> int:
     if args.timeline:
         # Record the run in-process (spans cannot cross worker
         # boundaries); bit-identical to the unrecorded fan-out.
-        from .mpc import TimelineRecorder, simulate, write_chrome_trace
+        from .mpc import (TimelineRecorder, simulate_config,
+                          write_chrome_trace)
         recorder = TimelineRecorder()
-        runs = [simulate(trace, n_procs=args.procs[0],
-                         overheads=overheads, faults=faults,
-                         protocol=protocol, recorder=recorder)]
+        runs = [simulate_config(trace,
+                                configs[0].replace(recorder=recorder))]
         write_chrome_trace(recorder.timeline, args.timeline)
     else:
         # One grid point per processor count, fanned out over --workers.
-        points = [GridPoint(n_procs=n, overheads=overheads, faults=faults,
-                            protocol=protocol)
-                  for n in args.procs]
+        points = [GridPoint(n_procs=c.n_procs, overheads=c.overheads,
+                            faults=c.faults,
+                            protocol=c.protocol if c.faults is not None
+                            else None)
+                  for c in configs]
         runs = run_grid(trace, points,
                         workers=getattr(args, "workers", None))
     if args.json:
@@ -226,30 +211,26 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_fault_sweep(args) -> int:
-    _check_procs(args.procs)
     for rate in args.loss:
         if not 0.0 <= rate <= 1.0:
             raise CLIError(f"--loss rates must be in [0, 1], got {rate:g}")
-    if args.dup or args.jitter:  # validate the shared fault flags
-        _fault_model(args, loss=0.0)
-    protocol = _protocol(args)
+    # Validates procs, overhead and the shared fault/protocol flags.
+    config = _run_config(args, n_procs=args.procs, loss=0.0)
     trace = _load_trace(args)
-    overheads = OVERHEADS.get(args.overhead)
-    if overheads is None:
-        raise CLIError(f"--overhead must be one of {sorted(OVERHEADS)}")
+    overheads = config.overheads
     curve = fault_sweep(trace, n_procs=args.procs, loss_rates=args.loss,
                         overheads=overheads, seed=args.fault_seed,
                         dup_prob=args.dup, jitter_us=args.jitter,
-                        protocol=protocol,
+                        protocol=config.protocol,
                         workers=getattr(args, "workers", None))
     if args.timeline:
         # Record the worst point of the sweep (highest loss rate).
-        from .mpc import TimelineRecorder, simulate, write_chrome_trace
-        worst = max(args.loss)
+        from .mpc import (TimelineRecorder, simulate_config,
+                          write_chrome_trace)
         recorder = TimelineRecorder()
-        simulate(trace, n_procs=args.procs, overheads=overheads,
-                 faults=_fault_model(args, loss=worst),
-                 protocol=protocol, recorder=recorder)
+        simulate_config(trace, _run_config(
+            args, n_procs=args.procs, loss=max(args.loss),
+            recorder=recorder))
         write_chrome_trace(recorder.timeline, args.timeline)
     if args.json:
         print(json.dumps({
@@ -279,11 +260,11 @@ def cmd_fault_sweep(args) -> int:
 
 def cmd_diagnose(args) -> int:
     from .analysis import diagnose, diagnose_measured
-    _check_procs(args.procs)
+    config = _run_config(args, n_procs=args.procs)
     trace = _load_trace(args)
     findings = diagnose(trace)
     findings += diagnose_measured(trace, n_procs=args.procs,
-                                  overheads=_overheads(args))
+                                  overheads=config.overheads)
     if not findings:
         print(f"{trace.name}: no speedup limiters detected")
         return 0
@@ -295,19 +276,17 @@ def cmd_diagnose(args) -> int:
 
 def cmd_profile(args) -> int:
     from .mpc import (TimelineRecorder, attribute_timeline,
-                      format_attribution, gantt_section, simulate,
+                      format_attribution, gantt_section, simulate_config,
                       write_chrome_trace, write_timeline_jsonl)
-    _check_procs(args.procs)
+    recorder = TimelineRecorder()
+    config = _run_config(args, n_procs=args.procs, recorder=recorder)
+    overheads = config.overheads
+    faults = config.faults
     if args.target in SECTIONS:
         trace = SECTIONS[args.target](args.seed)
     else:
         trace = _read_trace_file(args.target)
-    overheads = _overheads(args)
-    faults = _fault_model(args)
-    protocol = _protocol(args) if faults is not None else None
-    recorder = TimelineRecorder()
-    simulate(trace, n_procs=args.procs, overheads=overheads,
-             faults=faults, protocol=protocol, recorder=recorder)
+    simulate_config(trace, config)
     timeline = recorder.timeline
     if args.format == "chrome":
         out = args.out or f"{trace.name}-{args.procs}p.trace.json"
@@ -483,6 +462,13 @@ def cmd_check(args) -> int:
 
 
 def cmd_run(args) -> int:
+    if args.source:
+        return _run_ops5(args)
+    return _run_backend(args)
+
+
+def _run_ops5(args) -> int:
+    """The legacy direct mode: execute an OPS5 source file."""
     from .ops5 import Interpreter, parse_program
     from .rete import ReteNetwork
     with open(args.source, "r", encoding="utf-8") as fh:
@@ -497,6 +483,80 @@ def cmd_run(args) -> int:
     if args.verbose:
         for record in result.firings:
             print(f"  cycle {record.cycle}: {record.production_name}")
+    return 0
+
+
+def _run_backend(args) -> int:
+    """Run a section on one executor backend (``--backend``)."""
+    from .exec import get_executor, match_signature
+    from .exec import run as exec_run
+    config = _run_config(args, n_procs=args.procs)
+    trace = _load_trace(args)
+    try:
+        if args.backend == "served":
+            executor = get_executor("served",
+                                    max_sessions=args.sessions)
+            try:
+                handles = [executor.submit(trace, config)
+                           for _ in range(args.sessions)]
+                results = [handle.result() for handle in handles]
+            finally:
+                executor.close()
+            outcome = results[0]
+            if any(match_signature(r) != match_signature(outcome)
+                   for r in results[1:]):
+                raise CLIError("served sessions diverged on the same "
+                               "input — session isolation is broken")
+        elif args.backend == "actors":
+            outcome = exec_run(trace, config, backend="actors",
+                               transport=args.transport)
+        else:
+            outcome = exec_run(trace, config, backend="sim")
+    except ValueError as err:
+        raise CLIError(str(err)) from err
+    live = args.backend != "sim"
+    if live:
+        # Every live run is cross-checked against the model: same
+        # activation counts, message counts and fire sequence.
+        reference = exec_run(trace, config, backend="sim")
+        if match_signature(reference) != match_signature(outcome):
+            raise CLIError(f"{args.backend} run diverged from the "
+                           f"simulator on {trace.name}")
+    result = outcome.result
+    n_fires = sum(len(f) for f in outcome.fires)
+    if args.json:
+        payload = {
+            "trace": trace.name,
+            "backend": args.backend,
+            "n_procs": config.n_procs,
+            "overheads_us": config.overheads.total_us,
+            "cycles": len(result.cycles),
+            "n_messages": result.n_messages,
+            "instantiations": n_fires,
+            "wall_s": outcome.wall_s,
+            "matches_simulator": True if live else None,
+        }
+        if args.backend == "served":
+            payload["sessions"] = args.sessions
+        if args.backend == "sim":
+            payload["total_us"] = result.total_us
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{trace.name} on backend {args.backend}: "
+          f"{len(result.cycles)} cycles, {result.n_messages} messages, "
+          f"{n_fires} instantiations "
+          f"({config.n_procs} procs, overheads "
+          f"{config.overheads.label()})")
+    if args.backend == "sim":
+        print(f"  model time {result.total_us / 1000:.2f} ms; "
+              f"wall {outcome.wall_s:.3f} s")
+    else:
+        print(f"  wall {outcome.wall_s:.3f} s"
+              + (f" ({args.transport} transport)"
+                 if args.backend == "actors" else
+                 f" ({args.sessions} concurrent sessions, "
+                 f"all identical)"))
+        print("  match results and fire sequence match the simulator")
     return 0
 
 
@@ -535,9 +595,32 @@ def build_parser() -> argparse.ArgumentParser:
         "-q", "--quiet", action="store_true",
         help="suppress warnings (errors only)")
 
+    # Shared output/input flags, declared once and reused by every
+    # subcommand that takes them (same spelling and default everywhere).
+    jsonp = argparse.ArgumentParser(add_help=False)
+    jsonp.add_argument(
+        "--json", action="store_true",
+        help="print machine-readable JSON instead of a table")
+
+    seedp = argparse.ArgumentParser(add_help=False)
+    seedp.add_argument("--seed", type=int, default=0,
+                       help="trace-generation seed (default 0)")
+
+    timelinep = argparse.ArgumentParser(add_help=False)
+    timelinep.add_argument(
+        "--timeline", metavar="PATH",
+        help="record the run and write a Chrome trace-event file here")
+
+    def source_parent(default_section: str) -> argparse.ArgumentParser:
+        src = argparse.ArgumentParser(add_help=False)
+        group = src.add_mutually_exclusive_group()
+        group.add_argument("--section", choices=sorted(SECTIONS),
+                           default=default_section)
+        group.add_argument("--trace-file", help="a saved Fig 4-1 trace")
+        return src
+
     p = sub.add_parser("sections", help="Table 5-2 statistics",
-                       parents=[perf, verb])
-    p.add_argument("--seed", type=int, default=0)
+                       parents=[perf, verb, seedp])
     p.set_defaults(fn=cmd_sections)
 
     # Shared fault-injection knobs (see README "Fault model").
@@ -561,11 +644,9 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 8)")
 
     p = sub.add_parser("simulate", help="simulate a section on an MPC",
-                       parents=[perf, fault, verb])
-    group = p.add_mutually_exclusive_group()
-    group.add_argument("--section", choices=sorted(SECTIONS),
-                       default="rubik")
-    group.add_argument("--trace-file", help="a saved Fig 4-1 trace")
+                       parents=[perf, fault, verb,
+                                source_parent("rubik"), seedp, jsonp,
+                                timelinep])
     p.add_argument("--procs", type=int, nargs="+",
                    default=[1, 2, 4, 8, 16, 32])
     p.add_argument("--overhead", type=int, default=0,
@@ -574,21 +655,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--loss", type=float, default=0.0, metavar="P",
                    help="per-message loss probability in [0, 1] "
                         "(default 0 = the paper's perfect network)")
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--json", action="store_true",
-                   help="print machine-readable JSON instead of a table")
-    p.add_argument("--timeline", metavar="PATH",
-                   help="record the run and write a Chrome trace-event "
-                        "file here (needs exactly one --procs value)")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("fault-sweep",
                        help="speedup degradation vs message-loss rate",
-                       parents=[perf, fault, verb])
-    group = p.add_mutually_exclusive_group()
-    group.add_argument("--section", choices=sorted(SECTIONS),
-                       default="rubik")
-    group.add_argument("--trace-file", help="a saved Fig 4-1 trace")
+                       parents=[perf, fault, verb,
+                                source_parent("rubik"), seedp, jsonp,
+                                timelinep])
     p.add_argument("--procs", type=int, default=16,
                    help="processor count held fixed across the sweep")
     p.add_argument("--loss", type=float, nargs="+", metavar="P",
@@ -597,19 +670,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--overhead", type=int, default=8,
                    help="total message overhead in us "
                         "(a Table 5-1 row: 0, 8, 16 or 32; default 8)")
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--json", action="store_true",
-                   help="print machine-readable JSON instead of a table")
-    p.add_argument("--timeline", metavar="PATH",
-                   help="record the worst (highest-loss) point and "
-                        "write a Chrome trace-event file here")
     p.set_defaults(fn=cmd_fault_sweep)
 
     p = sub.add_parser("profile",
                        help="record a run and report its timeline: "
                             "idle-time attribution, Gantt chart, "
                             "Chrome trace export",
-                       parents=[fault, verb])
+                       parents=[fault, verb, seedp])
     p.add_argument("target",
                    help="section name (%s) or a saved trace file"
                         % "/".join(sorted(SECTIONS)))
@@ -620,7 +687,6 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--loss", type=float, default=0.0, metavar="P",
                    help="per-message loss probability in [0, 1] "
                         "(default 0)")
-    p.add_argument("--seed", type=int, default=0)
     p.add_argument("--format", choices=["table", "chrome", "jsonl",
                                         "json"],
                    default="table",
@@ -640,20 +706,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("cache-stats",
                        help="trace-cache contents and counters",
-                       parents=[verb])
-    p.add_argument("--json", action="store_true",
-                   help="print machine-readable JSON")
+                       parents=[verb, jsonp])
     p.set_defaults(fn=cmd_cache_stats)
 
     p = sub.add_parser("diagnose",
                        help="detect speedup limiters in a trace "
                             "(Section 5.2 methodology)",
-                       parents=[perf, verb])
-    group = p.add_mutually_exclusive_group()
-    group.add_argument("--section", choices=sorted(SECTIONS),
-                       default="tourney")
-    group.add_argument("--trace-file")
-    p.add_argument("--seed", type=int, default=0)
+                       parents=[perf, verb, source_parent("tourney"),
+                                seedp])
     p.add_argument("--procs", type=int, default=16,
                    help="processor count for the measured idle-time "
                         "attribution (default 16)")
@@ -663,29 +723,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_diagnose)
 
     p = sub.add_parser("trace", help="write a section trace to a file",
-                       parents=[perf, verb])
+                       parents=[perf, verb, seedp])
     p.add_argument("--section", choices=sorted(SECTIONS),
                    default="rubik")
     p.add_argument("--out", required=True)
-    p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("autotune",
                        help="apply the Section 5.2 remedies "
                             "automatically",
-                       parents=[perf, verb])
-    group = p.add_mutually_exclusive_group()
-    group.add_argument("--section", choices=sorted(SECTIONS),
-                       default="tourney")
-    group.add_argument("--trace-file")
+                       parents=[perf, verb, source_parent("tourney"),
+                                seedp])
     p.add_argument("--procs", type=int, default=16)
     p.add_argument("--out", help="write the tuned trace here")
-    p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_autotune)
 
     p = sub.add_parser("generate",
                        help="synthesize a custom section trace",
-                       parents=[verb])
+                       parents=[verb, seedp])
     p.add_argument("--name", default="custom")
     p.add_argument("--cycles", type=int, default=4)
     p.add_argument("--right", type=int, default=1000,
@@ -697,7 +752,6 @@ def build_parser() -> argparse.ArgumentParser:
                    help="active left buckets per cycle")
     p.add_argument("--skew", type=float, default=0.8,
                    help="Zipf skew of left traffic over buckets")
-    p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", required=True)
     p.set_defaults(fn=cmd_generate)
 
@@ -707,12 +761,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="figure ids (default: all)")
     p.set_defaults(fn=cmd_figures)
 
-    p = sub.add_parser("run", help="execute an OPS5 source file",
-                       parents=[verb])
-    p.add_argument("source")
+    p = sub.add_parser(
+        "run",
+        help="run a section on an executor backend, or an OPS5 file",
+        description="With SOURCE: execute an OPS5 source file on the "
+                    "Rete engine (the legacy direct mode). Without: "
+                    "run a section on one of the pluggable executor "
+                    "backends — 'sim' (the discrete-event simulator), "
+                    "'actors' (live asyncio or multiprocessing actors "
+                    "speaking the Section 3.2 message protocol) or "
+                    "'served' (N concurrent sessions on one asyncio "
+                    "server). Live runs are cross-checked against the "
+                    "simulator: same match counters, same fire "
+                    "sequence.",
+        parents=[verb, source_parent("rubik"), seedp, jsonp])
+    p.add_argument("source", nargs="?",
+                   help="an OPS5 source file (legacy direct mode; "
+                        "overrides --backend)")
+    p.add_argument("--backend", choices=("sim", "actors", "served"),
+                   default="sim",
+                   help="executor backend (default sim)")
+    p.add_argument("--procs", type=int, default=8,
+                   help="match processors / actors (default 8)")
+    p.add_argument("--overhead", type=int, default=0,
+                   help="total message overhead in us "
+                        "(a Table 5-1 row: 0, 8, 16 or 32)")
+    p.add_argument("--transport", choices=("asyncio", "process"),
+                   default="asyncio",
+                   help="actors backend: how messages move "
+                        "(default asyncio; 'process' = one OS process "
+                        "per actor)")
+    p.add_argument("--sessions", type=positive_int, default=4,
+                   metavar="N",
+                   help="served backend: concurrent sessions to run "
+                        "(default 4)")
     p.add_argument("--max-cycles", type=int, default=10_000)
     p.add_argument("--verbose", action="store_true",
-                   help="list every production firing")
+                   help="list every production firing (OPS5 mode)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -722,7 +807,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "programs, run every oracle pair and invariant on "
                     "each, and shrink any failure to a minimal repro. "
                     "Exits 1 if anything fails.",
-        parents=[verb])
+        parents=[verb, jsonp])
     p.add_argument("--seed", type=int, default=0,
                    help="root seed of the case stream (default 0)")
     p.add_argument("--budget", type=positive_int, default=200,
@@ -730,8 +815,6 @@ def build_parser() -> argparse.ArgumentParser:
                    help="number of generated cases (default 200)")
     p.add_argument("--out", default=None, metavar="DIR",
                    help="write minimal-repro JSON files here on failure")
-    p.add_argument("--json", action="store_true",
-                   help="print the report as JSON on stdout")
     p.add_argument("--mutate", type=float, default=0.0,
                    metavar="US", help=argparse.SUPPRESS)
     p.set_defaults(fn=cmd_check)

@@ -1,0 +1,163 @@
+"""Backend ``actors``: a live actor run of the Section 3.2 protocol.
+
+Where the simulator *prices* the paper's message protocol under a cost
+model, this backend *executes* it: each bucket partition is an actor
+with an inbox, the control actor broadcasts each cycle's plan, token
+messages really travel between partitions, instantiations really
+arrive at control, and a sync barrier really closes every
+recognize-act cycle.
+
+Two transports move the messages:
+
+``asyncio`` (default)
+    One :mod:`asyncio` task and queue per match actor, all in one
+    process.  Cheap, deterministic to start, runs anywhere.
+``process``
+    One OS process per match actor with :mod:`multiprocessing` queues
+    (:mod:`repro.exec.mp`) — actual parallel execution.
+
+Either way the counters come out of the same
+:class:`~repro.exec.plan.MatchActorCore` state machines, so activation
+counts, message counts and fire sets are equal to the simulator's for
+the same ``(trace, config)`` — the ``actors_vs_sim`` oracle in
+:mod:`repro.check` holds exactly.  Timing fields are measured wall
+time, reported for comparison against the model, never asserted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import List, Tuple
+
+from ..mpc.config import RunConfig
+from ..mpc.metrics import SimResult
+from ..trace.events import SectionTrace
+from .base import FireSet, RunHandle, RunResult
+from .plan import (CONTROL, CycleAccumulator, MatchActorCore,
+                   build_plans)
+
+#: Transports accepted by :class:`ActorExecutor`.
+TRANSPORTS = ("asyncio", "process")
+
+
+async def run_section_async(trace: SectionTrace, config: RunConfig
+                            ) -> Tuple[SimResult, List[FireSet], float]:
+    """Run *trace* on asyncio actors; ``(result, fires, wall_s)``.
+
+    Usable directly from an existing event loop — the served backend
+    runs many of these concurrently on one loop, each with its own
+    queues and actor cores (per-session sharded working memory).
+    """
+    plans = build_plans(trace, config)
+    n_procs = config.n_procs
+    inboxes = [asyncio.Queue() for _ in range(n_procs)]
+    control_q: asyncio.Queue = asyncio.Queue()
+
+    async def actor_main(actor_id: int) -> None:
+        core = MatchActorCore(actor_id, config)
+        inbox = inboxes[actor_id]
+        try:
+            while True:
+                message = await inbox.get()
+                kind = message[0]
+                if kind == "shutdown":
+                    return
+                if kind == "sync":
+                    control_q.put_nowait(("stats", actor_id,
+                                          core.on_sync()))
+                    continue
+                if kind == "cycle":
+                    out, processed = core.on_cycle(message[1])
+                else:  # "token"
+                    out, processed = core.on_token(message[1])
+                for dst, msg in out:
+                    if dst == CONTROL:
+                        control_q.put_nowait(msg)
+                    else:
+                        inboxes[dst].put_nowait(msg)
+                if processed:
+                    control_q.put_nowait(("processed", processed))
+        except Exception as err:  # surface instead of hanging control
+            control_q.put_nowait(("actor_error", actor_id, repr(err)))
+
+    tasks = [asyncio.create_task(actor_main(i)) for i in range(n_procs)]
+    result = SimResult(trace_name=trace.name, n_procs=n_procs)
+    fires: List[FireSet] = []
+    section_start = time.perf_counter()
+    try:
+        for plan in plans:
+            cycle_start = time.perf_counter()
+            accumulator = CycleAccumulator(plan, config)
+            for i in range(n_procs):
+                inboxes[i].put_nowait(("cycle", plan.per_actor[i]))
+            while not accumulator.done:
+                message = await control_q.get()
+                if message[0] == "actor_error":
+                    raise RuntimeError(
+                        f"match actor {message[1]} failed: {message[2]}")
+                accumulator.note(message)
+            for i in range(n_procs):
+                inboxes[i].put_nowait(("sync",))
+            stats: List = [None] * n_procs
+            remaining = n_procs
+            while remaining:
+                message = await control_q.get()
+                if message[0] == "stats":
+                    stats[message[1]] = message[2]
+                    remaining -= 1
+                elif message[0] == "actor_error":
+                    raise RuntimeError(
+                        f"match actor {message[1]} failed: {message[2]}")
+                else:
+                    accumulator.note(message)
+            wall_s = time.perf_counter() - cycle_start
+            cycle_result, fired = accumulator.finish(stats, wall_s)
+            result.cycles.append(cycle_result)
+            fires.append(fired)
+    finally:
+        for i in range(n_procs):
+            inboxes[i].put_nowait(("shutdown",))
+        await asyncio.gather(*tasks, return_exceptions=True)
+    return result, fires, time.perf_counter() - section_start
+
+
+def _check_supported(config: RunConfig) -> None:
+    if config.faulty:
+        raise ValueError("the actors backend does not support fault "
+                         "injection; use backend 'sim'")
+    if config.recorder is not None:
+        raise ValueError("the actors backend does not support timeline "
+                         "recording; use backend 'sim'")
+
+
+class ActorExecutor:
+    """Backend ``actors``: live bucket-partition actors.
+
+    *transport* selects how messages move: ``"asyncio"`` (tasks in
+    this process) or ``"process"`` (one OS process per actor, see
+    :mod:`repro.exec.mp`).
+    """
+
+    name = "actors"
+
+    def __init__(self, transport: str = "asyncio") -> None:
+        if transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {transport!r}; "
+                             f"choose from {TRANSPORTS}")
+        self.transport = transport
+
+    def submit(self, trace: SectionTrace,
+               config: RunConfig) -> RunHandle:
+        _check_supported(config)
+
+        def thunk() -> RunResult:
+            if self.transport == "process":
+                from .mp import run_section_mp
+                result, fires, wall_s = run_section_mp(trace, config)
+            else:
+                result, fires, wall_s = asyncio.run(
+                    run_section_async(trace, config))
+            return RunResult(backend=self.name, result=result,
+                             fires=fires, wall_s=wall_s)
+        return RunHandle(thunk)

@@ -1,0 +1,148 @@
+"""The executor protocol: one ``run()`` API over interchangeable backends.
+
+An :class:`Executor` turns ``(trace, RunConfig)`` into a
+:class:`RunResult` through a :class:`RunHandle`::
+
+    from repro.exec import get_executor
+    from repro.mpc import RunConfig
+
+    executor = get_executor("actors")
+    handle = executor.submit(trace, RunConfig(n_procs=8))
+    result = handle.result()
+    result.result.total_us     # the same SimResult counters as simulate
+    result.fires               # per-cycle conflict-set deliveries
+    result.wall_s              # measured wall time of the run
+
+The three backends (registered in :mod:`repro.exec`):
+
+``sim``
+    :class:`~repro.exec.sim.SimExecutor` — the discrete-event
+    simulator.  Bit-identical to :func:`repro.mpc.simulate_config`.
+``actors``
+    :class:`~repro.exec.actors.ActorExecutor` — a *live* run: each
+    bucket partition is an actor (asyncio task or worker process)
+    exchanging real token messages per the Section 3.2 protocol.
+    Counters match the simulator's exactly; ``makespan_us`` is
+    measured wall time.
+``served``
+    :class:`~repro.exec.served.ServedExecutor` — an asyncio server
+    hosting many concurrent sessions of the actor engine, each with
+    its own sharded working memory.
+
+All backends agree on the *match* outcome — activation counts, message
+counts, conflict-set deliveries (:func:`match_signature` extracts the
+comparable part) — which is what the ``actors_vs_sim`` oracle in
+:mod:`repro.check` cross-checks.  Timing fields are model time on
+``sim`` and wall time on the live backends: comparable in shape, never
+asserted equal.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Protocol, Tuple, \
+    runtime_checkable
+
+from ..mpc.config import RunConfig
+from ..mpc.metrics import SimResult
+from ..trace.events import SectionTrace
+
+#: One cycle's conflict-set deliveries: sorted activation ids.
+FireSet = Tuple[int, ...]
+
+
+@dataclass
+class RunResult:
+    """What every backend returns: counters, fires and wall time."""
+
+    #: Registry name of the backend that produced this result.
+    backend: str
+    #: The per-cycle counters, in the simulator's result type — so
+    #: every metric helper (speedup, idle fractions, message totals)
+    #: works on live-run output unchanged.
+    result: SimResult
+    #: Per-cycle conflict-set deliveries (sorted activation ids) — the
+    #: ground truth the backends must agree on.
+    fires: List[FireSet]
+    #: Measured wall-clock seconds for the whole run.
+    wall_s: float
+
+    @property
+    def total_us(self) -> float:
+        return self.result.total_us
+
+
+def match_signature(result: RunResult) -> List[Tuple]:
+    """The backend-independent part of a run, one tuple per cycle.
+
+    Two correct backends produce equal signatures for the same
+    ``(trace, config)``: per-processor activation counts, message
+    counts and the delivered conflict set.  Timing fields are excluded
+    — they are model time on ``sim`` and wall time on ``actors``.
+    """
+    return [
+        (tuple(cycle.proc_activations),
+         tuple(cycle.proc_left_activations),
+         cycle.n_messages,
+         fires)
+        for cycle, fires in zip(result.result.cycles, result.fires)
+    ]
+
+
+class RunHandle:
+    """A submitted run: ``result()`` joins it, lazily or eagerly.
+
+    Backends construct handles either around a thunk (computed on the
+    first ``result()`` call, in the caller's thread) or around an
+    already-running future via :meth:`from_future`.
+    """
+
+    def __init__(self, thunk: Callable[[], RunResult]) -> None:
+        self._thunk = thunk
+        self._lock = threading.Lock()
+        self._result: Optional[RunResult] = None
+        self._error: Optional[BaseException] = None
+
+    @classmethod
+    def from_future(cls, future, backend_wrap=None) -> "RunHandle":
+        """Wrap a :class:`concurrent.futures.Future` already running."""
+        def thunk() -> RunResult:
+            value = future.result()
+            return backend_wrap(value) if backend_wrap else value
+        handle = cls(thunk)
+        handle._future = future
+        return handle
+
+    def result(self) -> RunResult:
+        """The run's result; computes/joins and caches on first call."""
+        with self._lock:
+            if self._error is not None:
+                raise self._error
+            if self._result is None:
+                try:
+                    self._result = self._thunk()
+                except BaseException as err:
+                    self._error = err
+                    raise
+            return self._result
+
+    @property
+    def done(self) -> bool:
+        """Whether ``result()`` would return without blocking."""
+        future = getattr(self, "_future", None)
+        if future is not None and not future.done():
+            return False
+        return self._result is not None or self._error is not None \
+            or future is not None
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """What a backend must provide to sit behind ``run()``."""
+
+    #: Registry name (``sim`` / ``actors`` / ``served``).
+    name: str
+
+    def submit(self, trace: SectionTrace,
+               config: RunConfig) -> RunHandle: ...

@@ -1,0 +1,137 @@
+"""The multiprocessing transport for the ``actors`` backend.
+
+Same protocol, same :class:`~repro.exec.plan.MatchActorCore` state
+machines as the asyncio transport — but each match actor is an OS
+process with a :class:`multiprocessing.Queue` inbox, so activations in
+different bucket partitions really execute in parallel.  The control
+actor runs synchronously in the parent process (the paper's control
+processor is serialized by the barrier anyway).
+
+Everything crossing a process boundary is a plain picklable tuple; the
+``fork`` start method is preferred when available (no module re-import
+per actor), with the platform default as fallback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import time
+from typing import List, Tuple
+
+from ..mpc.config import RunConfig
+from ..mpc.metrics import SimResult
+from ..trace.events import SectionTrace
+from .base import FireSet
+from .plan import CONTROL, CycleAccumulator, MatchActorCore, build_plans
+
+#: Seconds the control process waits for any actor message before
+#: declaring the run wedged (an actor died without reporting).
+CONTROL_TIMEOUT_S = 300.0
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+
+
+def _actor_process(actor_id: int, config: RunConfig,
+                   inboxes, control_q) -> None:
+    """Child-process main loop: one match actor until shutdown."""
+    core = MatchActorCore(actor_id, config)
+    inbox = inboxes[actor_id]
+    try:
+        while True:
+            message = inbox.get()
+            kind = message[0]
+            if kind == "shutdown":
+                return
+            if kind == "sync":
+                control_q.put(("stats", actor_id, core.on_sync()))
+                continue
+            if kind == "cycle":
+                out, processed = core.on_cycle(message[1])
+            else:  # "token"
+                out, processed = core.on_token(message[1])
+            for dst, msg in out:
+                if dst == CONTROL:
+                    control_q.put(msg)
+                else:
+                    inboxes[dst].put(msg)
+            if processed:
+                control_q.put(("processed", processed))
+    except Exception as err:  # surface instead of wedging control
+        control_q.put(("actor_error", actor_id, repr(err)))
+
+
+def _get_control(control_q):
+    try:
+        return control_q.get(timeout=CONTROL_TIMEOUT_S)
+    except queue_mod.Empty:
+        raise RuntimeError(
+            "actor run wedged: no control message for "
+            f"{CONTROL_TIMEOUT_S:.0f}s") from None
+
+
+def run_section_mp(trace: SectionTrace, config: RunConfig
+                   ) -> Tuple[SimResult, List[FireSet], float]:
+    """Run *trace* on one worker process per match actor."""
+    plans = build_plans(trace, config)
+    n_procs = config.n_procs
+    ctx = _mp_context()
+    inboxes = [ctx.Queue() for _ in range(n_procs)]
+    control_q = ctx.Queue()
+    workers = [
+        ctx.Process(target=_actor_process,
+                    args=(i, config, inboxes, control_q),
+                    daemon=True)
+        for i in range(n_procs)
+    ]
+    for worker in workers:
+        worker.start()
+
+    result = SimResult(trace_name=trace.name, n_procs=n_procs)
+    fires: List[FireSet] = []
+    section_start = time.perf_counter()
+    try:
+        for plan in plans:
+            cycle_start = time.perf_counter()
+            accumulator = CycleAccumulator(plan, config)
+            for i in range(n_procs):
+                inboxes[i].put(("cycle", plan.per_actor[i]))
+            while not accumulator.done:
+                message = _get_control(control_q)
+                if message[0] == "actor_error":
+                    raise RuntimeError(
+                        f"match actor {message[1]} failed: {message[2]}")
+                accumulator.note(message)
+            for i in range(n_procs):
+                inboxes[i].put(("sync",))
+            stats: List = [None] * n_procs
+            remaining = n_procs
+            while remaining:
+                message = _get_control(control_q)
+                if message[0] == "stats":
+                    stats[message[1]] = message[2]
+                    remaining -= 1
+                elif message[0] == "actor_error":
+                    raise RuntimeError(
+                        f"match actor {message[1]} failed: {message[2]}")
+                else:
+                    accumulator.note(message)
+            wall_s = time.perf_counter() - cycle_start
+            cycle_result, fired = accumulator.finish(stats, wall_s)
+            result.cycles.append(cycle_result)
+            fires.append(fired)
+    finally:
+        for i in range(n_procs):
+            inboxes[i].put(("shutdown",))
+        for worker in workers:
+            worker.join(timeout=10.0)
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=10.0)
+        for q in inboxes + [control_q]:
+            q.close()
+    return result, fires, time.perf_counter() - section_start

@@ -1,0 +1,241 @@
+"""Backend ``served``: one asyncio server, many concurrent sessions.
+
+The paper simulates one production system at a time; a served
+deployment multiplexes many.  :class:`SessionServer` owns a background
+thread running a persistent asyncio event loop and hosts each
+submitted run as one *session* — a full actor engine
+(:func:`repro.exec.actors.run_section_async`) with its own queues,
+actor cores and plan stream.  Working memory stays sharded per
+session: no queue, core or bucket partition is shared between
+sessions, so concurrent sessions are isolated by construction and
+their results equal a solo run's.  WME changes are batched exactly as
+in the single-session backends — one plan broadcast per recognize-act
+cycle.
+
+A session limit (:data:`DEFAULT_MAX_SESSIONS`) bounds concurrency;
+excess submissions queue on the loop's semaphore.  An optional TCP
+front-end (:meth:`SessionServer.serve_tcp`) accepts JSON-line requests
+(``{"section": "rubik", "procs": 8, "overhead": 8, "seed": 0}``) and
+answers with one JSON line of result counters — enough to drive a
+served deployment from anything that can speak newline-delimited JSON.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import threading
+from typing import Callable, Optional
+
+from ..mpc.config import OVERHEADS, RunConfig
+from ..trace.events import SectionTrace
+from .actors import _check_supported, run_section_async
+from .base import RunHandle, RunResult
+
+#: Sessions allowed to run concurrently before new ones queue.
+DEFAULT_MAX_SESSIONS = 32
+
+
+def _default_trace_loader(section: str, seed: int = 0) -> SectionTrace:
+    from ..workloads import (rubik_section, tourney_section,
+                             weaver_section)
+    sections = {"rubik": rubik_section, "tourney": tourney_section,
+                "weaver": weaver_section}
+    if section not in sections:
+        raise ValueError(f"unknown section {section!r}; "
+                         f"choose from {sorted(sections)}")
+    return sections[section](seed)
+
+
+class SessionServer:
+    """A background asyncio loop hosting concurrent match sessions."""
+
+    def __init__(self, max_sessions: int = DEFAULT_MAX_SESSIONS) -> None:
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self.max_sessions = max_sessions
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._tcp_server = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "SessionServer":
+        with self._lock:
+            if self._thread is not None:
+                return self
+            started = threading.Event()
+
+            def loop_main() -> None:
+                loop = asyncio.new_event_loop()
+                asyncio.set_event_loop(loop)
+                self._loop = loop
+                self._semaphore = asyncio.Semaphore(self.max_sessions)
+                started.set()
+                try:
+                    loop.run_forever()
+                finally:
+                    loop.close()
+
+            self._thread = threading.Thread(target=loop_main,
+                                            name="repro-session-server",
+                                            daemon=True)
+            self._thread.start()
+            started.wait()
+        return self
+
+    def stop(self) -> None:
+        with self._lock:
+            thread, loop = self._thread, self._loop
+            self._thread = self._loop = self._semaphore = None
+        if loop is None or thread is None:
+            return
+        server = self._tcp_server
+        self._tcp_server = None
+        asyncio.run_coroutine_threadsafe(
+            _drain_loop(server), loop).result(timeout=10.0)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10.0)
+
+    def __enter__(self) -> "SessionServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    # -- sessions -----------------------------------------------------------
+
+    def submit(self, trace: SectionTrace,
+               config: RunConfig) -> concurrent.futures.Future:
+        """Open a session for ``(trace, config)``; future of the raw
+        ``(SimResult, fires, wall_s)`` triple."""
+        _check_supported(config)
+        self.start()
+        return asyncio.run_coroutine_threadsafe(
+            self._session(trace, config), self._loop)
+
+    async def _session(self, trace: SectionTrace, config: RunConfig):
+        async with self._semaphore:
+            return await run_section_async(trace, config)
+
+    # -- TCP front-end ------------------------------------------------------
+
+    def serve_tcp(self, host: str = "127.0.0.1", port: int = 0,
+                  trace_loader: Optional[Callable[..., SectionTrace]]
+                  = None) -> int:
+        """Accept JSON-line session requests on *host*; returns the
+        bound port (``port=0`` picks a free one)."""
+        self.start()
+        loader = trace_loader or _default_trace_loader
+
+        async def handle(reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+            try:
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    reply = await self._handle_request(line, loader)
+                    writer.write(json.dumps(reply).encode() + b"\n")
+                    await writer.drain()
+            except asyncio.CancelledError:
+                pass  # server shutting down with the connection open
+            finally:
+                writer.close()
+
+        async def start_server():
+            server = await asyncio.start_server(handle, host, port)
+            self._tcp_server = server
+            return server.sockets[0].getsockname()[1]
+
+        return asyncio.run_coroutine_threadsafe(
+            start_server(), self._loop).result(timeout=10.0)
+
+    async def _handle_request(self, line: bytes, loader) -> dict:
+        try:
+            request = json.loads(line)
+            trace = loader(request["section"],
+                           int(request.get("seed", 0)))
+            overhead = int(request.get("overhead", 0))
+            overheads = OVERHEADS.get(overhead)
+            if overhead and overheads is None:
+                raise ValueError(f"overhead must be one of "
+                                 f"{sorted(OVERHEADS)} or 0")
+            config = RunConfig(n_procs=int(request.get("procs", 1)),
+                               **({"overheads": overheads}
+                                  if overheads else {}))
+            async with self._semaphore:
+                result, fires, wall_s = await run_section_async(
+                    trace, config)
+        except Exception as err:
+            return {"ok": False, "error": str(err)}
+        return {
+            "ok": True,
+            "section": trace.name,
+            "procs": config.n_procs,
+            "cycles": len(result.cycles),
+            "total_us": result.total_us,
+            "n_messages": result.n_messages,
+            "fires": [list(f) for f in fires],
+            "wall_s": wall_s,
+        }
+
+
+async def _drain_loop(server) -> None:
+    """Close the TCP listener (if any) and cancel leftover tasks —
+    open client handlers, queued sessions — so the loop stops clean."""
+    if server is not None:
+        server.close()
+        await server.wait_closed()
+    current = asyncio.current_task()
+    leftovers = [task for task in asyncio.all_tasks()
+                 if task is not current]
+    for task in leftovers:
+        task.cancel()
+    await asyncio.gather(*leftovers, return_exceptions=True)
+
+
+class ServedExecutor:
+    """Backend ``served``: sessions on a shared :class:`SessionServer`.
+
+    Submissions from any thread multiplex onto one background loop;
+    each returns immediately with a joinable handle, so N overlapping
+    ``submit`` calls are N concurrent sessions.
+    """
+
+    name = "served"
+
+    def __init__(self, max_sessions: int = DEFAULT_MAX_SESSIONS,
+                 server: Optional[SessionServer] = None) -> None:
+        self._server = server or SessionServer(max_sessions)
+
+    @property
+    def server(self) -> SessionServer:
+        return self._server
+
+    def submit(self, trace: SectionTrace,
+               config: RunConfig) -> RunHandle:
+        future = self._server.submit(trace, config)
+
+        def wrap(value) -> RunResult:
+            result, fires, wall_s = value
+            return RunResult(backend=self.name, result=result,
+                             fires=fires, wall_s=wall_s)
+        return RunHandle.from_future(future, wrap)
+
+    def close(self) -> None:
+        self._server.stop()
+
+    def __enter__(self) -> "ServedExecutor":
+        self._server.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

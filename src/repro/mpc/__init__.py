@@ -12,6 +12,7 @@ Typical use::
     print(speedup(base, run))
 """
 
+from .config import OVERHEADS, MappingFactory, RunConfig
 from .continuum import simulate_master_copy, simulate_replicated
 from .dedicated import simulate_dedicated_alpha
 from .costmodel import (DEFAULT_COSTS, TABLE_5_1, ZERO_OVERHEADS, CostModel,
@@ -24,11 +25,12 @@ from .mapping import (DEFAULT_N_BUCKETS, BucketMapping, ExplicitMapping,
 from .metrics import CycleResult, SimResult, speedup, speedup_series
 from .pairs import simulate_pairs
 from .parallel import (GridPoint, parallel_overhead_sweep,
-                       parallel_speedup_curve, resolve_workers, run_grid,
-                       set_default_workers)
+                       parallel_speedup_curve, pool_worth_it,
+                       resolve_workers, run_grid, set_default_workers)
 from .sharedbus import DEFAULT_QUEUE_ACCESS_US, simulate_shared_bus
 from .simulator import (BucketWorkCache, GreedyMappingFactory, bucket_work,
-                        compute_search_costs, simulate, simulate_base)
+                        compute_search_costs, simulate, simulate_base,
+                        simulate_config)
 from .termination import (TerminationScheme, apply_termination,
                           detection_delay, termination_overhead_fraction)
 from .timeline import (CATEGORIES, CONTROL, GANTT_LEGEND, NETWORK,
@@ -56,12 +58,15 @@ __all__ = [
     "RandomMapping", "RoundRobinMapping", "greedy_assignment",
     "greedy_mapping",
     "CycleResult", "SimResult", "speedup", "speedup_series",
+    "OVERHEADS", "MappingFactory", "RunConfig",
     "BucketWorkCache", "GreedyMappingFactory",
     "bucket_work", "compute_search_costs", "simulate", "simulate_base",
+    "simulate_config",
     "DEFAULT_PROC_COUNTS", "SpeedupCurve", "format_curves",
     "overhead_sweep", "speedup_curve", "speedup_loss",
     "GridPoint", "parallel_overhead_sweep", "parallel_speedup_curve",
-    "resolve_workers", "run_grid", "set_default_workers",
+    "pool_worth_it", "resolve_workers", "run_grid",
+    "set_default_workers",
     "simulate_master_copy", "simulate_replicated", "simulate_pairs",
     "DEFAULT_QUEUE_ACCESS_US", "simulate_shared_bus",
     "simulate_dedicated_alpha",

@@ -18,6 +18,15 @@ harness):
   environment if set, else :func:`set_default_workers`'s value if set,
   else ``os.cpu_count()``.
 
+Even with ``workers >= 2`` resolved, a pool is only actually spawned
+when it is expected to win: :func:`pool_worth_it` requires at least two
+real CPUs and enough total work (activations × points) to amortize the
+fork/pickle startup, so a sweep never loses to the serial path on a
+small grid or a single-CPU machine.  ``REPRO_SWEEP_FORCE_POOL=1``
+bypasses the gate (tests and the conformance oracle exercise the pool
+machinery regardless of the host), ``=0`` forces serial.  Gating never
+changes results — only where they are computed.
+
 Grids whose inputs cannot be pickled (e.g. a closure-based per-cycle
 mapping factory) quietly fall back to the serial path — correctness
 first, parallelism when possible.
@@ -44,12 +53,13 @@ from typing import Callable, List, Optional, Sequence
 
 from ..obs import get_registry, log_event
 from ..trace.events import SectionTrace
+from .config import RunConfig
 from .costmodel import (DEFAULT_COSTS, TABLE_5_1, ZERO_OVERHEADS, CostModel,
                         OverheadModel)
 from .faults import FaultModel, ProtocolModel
 from .mapping import BucketMapping
 from .metrics import SimResult, speedup
-from .simulator import MappingFactory, simulate
+from .simulator import MappingFactory, simulate_config
 from .sweep import (DEFAULT_PROC_COUNTS, SpeedupCurve, _serial_overhead_sweep,
                     _serial_speedup_curve)
 
@@ -57,6 +67,17 @@ logger = logging.getLogger(__name__)
 
 #: Environment override for the default worker count.
 ENV_WORKERS = "REPRO_SWEEP_WORKERS"
+
+#: Environment override for the pool-benefit gate: ``"1"`` forces the
+#: pool path whenever ``workers >= 2`` (used by tests and the
+#: conformance oracle on single-CPU machines), ``"0"`` forces serial.
+ENV_FORCE_POOL = "REPRO_SWEEP_FORCE_POOL"
+
+#: Estimated total activation-evaluations below which a worker pool
+#: costs more than it saves (fork + pickle + IPC ≈ a few hundred ms;
+#: one activation simulates in ~1-2 µs, so ~200k activations ≈ the
+#: break-even sweep size with headroom).
+MIN_POOL_ACTIVATIONS = 200_000
 
 _default_workers: Optional[int] = None
 
@@ -100,10 +121,27 @@ class GridPoint:
 
 def _eval_point(trace: SectionTrace, costs: CostModel,
                 point: GridPoint) -> SimResult:
-    return simulate(trace, n_procs=point.n_procs, costs=costs,
-                    overheads=point.overheads, mapping=point.mapping,
-                    mapping_factory=point.mapping_factory,
-                    faults=point.faults, protocol=point.protocol)
+    return simulate_config(trace, RunConfig(
+        n_procs=point.n_procs, costs=costs, overheads=point.overheads,
+        mapping=point.mapping, mapping_factory=point.mapping_factory,
+        faults=point.faults, protocol=point.protocol))
+
+
+def pool_worth_it(trace: SectionTrace, n_points: int) -> bool:
+    """Whether a worker pool is expected to beat serial evaluation.
+
+    The benefit heuristic behind ``--workers`` (ROADMAP: the parallel
+    sweep must never lose to serial on a 1-CPU box): a pool only pays
+    off with at least two real CPUs *and* enough total work to amortize
+    fork/pickle/IPC startup.  ``REPRO_SWEEP_FORCE_POOL=1`` overrides to
+    always-pool (tests, the conformance oracle); ``=0`` to never-pool.
+    """
+    force = os.environ.get(ENV_FORCE_POOL)
+    if force:
+        return force != "0"
+    if (os.cpu_count() or 1) < 2:
+        return False
+    return trace.total_activations() * n_points >= MIN_POOL_ACTIVATIONS
 
 
 def _picklable(payload) -> bool:
@@ -154,10 +192,12 @@ def run_grid(trace: SectionTrace, points: Sequence[GridPoint],
              workers: Optional[int] = None) -> List[SimResult]:
     """Evaluate every *point* of the grid; results in *points* order.
 
-    The serial path (``workers=1``, a single point, or unpicklable
-    inputs) computes in-process; otherwise points are dispatched to a
-    process pool.  Either way the returned list is deterministic and
-    identical between the two paths.
+    The serial path (``workers=1``, a single point, unpicklable
+    inputs, or a grid the benefit heuristic judges too small to
+    amortize pool startup — see :func:`pool_worth_it`) computes
+    in-process; otherwise points are dispatched to a process pool.
+    Either way the returned list is deterministic and identical
+    between the two paths.
 
     Worker crashes are survived: points stranded by a broken pool are
     retried once in a fresh pool and, failing that, evaluated serially
@@ -167,6 +207,9 @@ def run_grid(trace: SectionTrace, points: Sequence[GridPoint],
     registry = get_registry()
     registry.counter("parallel.points").inc(len(points))
     n_workers = min(resolve_workers(workers), len(points))
+    if n_workers > 1 and not pool_worth_it(trace, len(points)):
+        registry.counter("parallel.gated_points").inc(len(points))
+        n_workers = 1
     if n_workers <= 1 or not _picklable((trace, costs, points)):
         registry.counter("parallel.serial_points").inc(len(points))
         log_event(logger, "grid_serial", trace=trace.name,

@@ -38,19 +38,17 @@ bit-identical results.
 from __future__ import annotations
 
 import heapq
+import warnings
 from collections import defaultdict
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from ..rete.hashing import BucketKey
 from ..trace.events import (KIND_TERMINAL, LEFT, CycleTrace, SectionTrace)
+from .config import MappingFactory, RunConfig
 from .costmodel import DEFAULT_COSTS, ZERO_OVERHEADS, CostModel, \
     OverheadModel
 from .mapping import BucketMapping, RoundRobinMapping, greedy_mapping
 from .metrics import CycleResult, SimResult
-
-#: Signature for per-cycle mapping construction (used by the idealized
-#: greedy distribution, which the paper recomputed every cycle).
-MappingFactory = Callable[[CycleTrace], BucketMapping]
 
 #: Test-only mis-pricing hook for the conformance harness
 #: (:mod:`repro.check`).  When nonzero, the optimized event loop — and
@@ -166,63 +164,45 @@ def compute_search_costs(trace: SectionTrace,
     return extra
 
 
-def simulate(trace: SectionTrace,
-             n_procs: int,
-             costs: CostModel = DEFAULT_COSTS,
-             overheads: OverheadModel = ZERO_OVERHEADS,
-             mapping: Optional[BucketMapping] = None,
-             mapping_factory: Optional[MappingFactory] = None,
-             faults: Optional["FaultModel"] = None,
-             protocol: Optional["ProtocolModel"] = None,
-             recorder: Optional["TimelineRecorder"] = None) -> SimResult:
-    """Simulate *trace* on *n_procs* match processors.
+def simulate_config(trace: SectionTrace, config: RunConfig) -> SimResult:
+    """Simulate *trace* under one :class:`~repro.mpc.config.RunConfig`.
+
+    This is the engine entry point every executor backend and sweep
+    shares; :func:`simulate` is a thin compatibility wrapper around it.
 
     Parameters
     ----------
     trace:
         The section to replay (validated traces only; see
         :func:`repro.trace.validate_trace`).
-    n_procs:
-        Number of match processors (the control processor is extra).
-    costs / overheads:
-        Section 4 cost model and Table 5-1 overhead setting.
-    mapping:
-        Bucket distribution; defaults to the paper's round robin.
-    mapping_factory:
-        When given, overrides *mapping* with a fresh mapping per cycle —
-        the paper's idealized per-cycle greedy redistribution.
-    faults / protocol:
-        Optional deterministic fault injection and reliable-delivery
-        parameters (:mod:`repro.mpc.faults`).  ``None`` or a null
-        :class:`~repro.mpc.faults.FaultModel` keeps the exact fault-free
-        code path — results are bit-identical to a call without these
-        arguments.  *protocol* defaults to
+    config:
+        The full machine configuration.  ``config.mapping`` defaults to
+        the paper's round robin; ``config.mapping_factory`` overrides
+        it with a fresh mapping per cycle (the paper's idealized greedy
+        redistribution).  A ``None`` or null ``config.faults`` keeps
+        the exact fault-free code path — results are bit-identical to a
+        fault-free config; ``config.protocol`` defaults to
         :data:`~repro.mpc.faults.DEFAULT_PROTOCOL` when faults are
-        active, and is ignored otherwise.
-    recorder:
-        Optional :class:`~repro.mpc.timeline.TimelineRecorder`.  When
-        given, every cycle is simulated by the span-recording mirror of
-        the event loop (:mod:`repro.mpc.timeline`), which replays the
-        fast loop's arithmetic exactly — the returned result is
-        bit-identical to an unrecorded run, and ``recorder.timeline``
-        afterwards holds the per-event timeline.  When ``None`` (the
-        default) the fast path runs untouched, with zero added
-        per-event work.
+        active and is ignored otherwise.  ``config.recorder`` routes
+        every cycle through the span-recording mirror of the event loop
+        (:mod:`repro.mpc.timeline`) without changing any result bit.
 
     Returns
     -------
     SimResult with one :class:`CycleResult` per cycle.
     """
-    if n_procs < 1:
-        raise ValueError("need at least one match processor")
+    n_procs = config.n_procs
+    costs = config.costs
+    overheads = config.overheads
+    mapping = config.mapping
+    mapping_factory = config.mapping_factory
+    faults = config.faults
+    protocol = config.protocol
+    recorder = config.recorder
     if mapping is None:
         mapping = RoundRobinMapping(n_procs)
-    if mapping.n_procs != n_procs:
-        raise ValueError(
-            f"mapping built for {mapping.n_procs} processors, "
-            f"simulating {n_procs}")
 
-    faulty = faults is not None and not faults.is_null
+    faulty = config.faulty
     if faulty:
         from .faults import DEFAULT_PROTOCOL, simulate_cycle_with_faults
         if protocol is None:
@@ -255,6 +235,40 @@ def simulate(trace: SectionTrace,
                 search_costs.get(cycle.index, {}))
         result.cycles.append(cycle_result)
     return result
+
+
+def simulate(trace: SectionTrace,
+             n_procs: int,
+             costs: CostModel = DEFAULT_COSTS,
+             overheads: OverheadModel = ZERO_OVERHEADS,
+             mapping: Optional[BucketMapping] = None,
+             mapping_factory: Optional[MappingFactory] = None,
+             faults: Optional["FaultModel"] = None,
+             protocol: Optional["ProtocolModel"] = None,
+             recorder: Optional["TimelineRecorder"] = None) -> SimResult:
+    """Simulate *trace* on *n_procs* match processors.
+
+    Compatibility wrapper over :func:`simulate_config`.  The short form
+    — ``simulate(trace, n_procs, costs=..., overheads=...)`` — remains
+    the supported convenience spelling.  The remaining keywords
+    (*mapping*, *mapping_factory*, *faults*, *protocol*, *recorder*)
+    are **deprecated** here: build a
+    :class:`~repro.mpc.config.RunConfig` and call
+    :func:`simulate_config` instead.  Passing any of them emits a
+    ``DeprecationWarning`` (results are unchanged).
+    """
+    if (mapping is not None or mapping_factory is not None
+            or faults is not None or protocol is not None
+            or recorder is not None):
+        warnings.warn(
+            "passing mapping/mapping_factory/faults/protocol/recorder "
+            "to simulate() is deprecated; build a RunConfig and call "
+            "simulate_config(trace, config)",
+            DeprecationWarning, stacklevel=2)
+    return simulate_config(trace, RunConfig(
+        n_procs=n_procs, costs=costs, overheads=overheads,
+        mapping=mapping, mapping_factory=mapping_factory,
+        faults=faults, protocol=protocol, recorder=recorder))
 
 
 def _simulate_cycle(cycle: CycleTrace, n_procs: int, costs: CostModel,
@@ -391,5 +405,5 @@ def _simulate_cycle(cycle: CycleTrace, n_procs: int, costs: CostModel,
 def simulate_base(trace: SectionTrace,
                   costs: CostModel = DEFAULT_COSTS) -> SimResult:
     """The paper's base case: one match processor, zero overheads."""
-    return simulate(trace, n_procs=1, costs=costs,
-                    overheads=ZERO_OVERHEADS)
+    return simulate_config(trace, RunConfig(n_procs=1, costs=costs,
+                                            overheads=ZERO_OVERHEADS))

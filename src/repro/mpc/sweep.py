@@ -22,8 +22,9 @@ from .costmodel import (DEFAULT_COSTS, TABLE_5_1, ZERO_OVERHEADS, CostModel,
                         OverheadModel)
 from .faults import FaultModel, ProtocolModel
 from .mapping import BucketMapping
+from .config import RunConfig
 from .metrics import SimResult, speedup
-from .simulator import MappingFactory, simulate, simulate_base
+from .simulator import MappingFactory, simulate_base, simulate_config
 
 #: The loss rates of the canonical degradation curve (the fault-sweep
 #: analogue of the paper's Table 5-1 overhead rows).
@@ -110,8 +111,8 @@ def _serial_speedup_curve(trace: SectionTrace,
             kwargs["mapping_factory"] = mapping_factory_for(n_procs)
         elif mapping_for is not None:
             kwargs["mapping"] = mapping_for(n_procs)
-        result = simulate(trace, n_procs=n_procs, costs=costs,
-                          overheads=overheads, **kwargs)
+        result = simulate_config(trace, RunConfig(
+            n_procs=n_procs, costs=costs, overheads=overheads, **kwargs))
         results.append(result)
         speedups.append(speedup(base, result))
     return SpeedupCurve(label=label or f"{trace.name}@{overheads.label()}",

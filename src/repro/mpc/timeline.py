@@ -241,11 +241,11 @@ class Timeline:
 
 
 class TimelineRecorder:
-    """Opt-in span collector: pass one to ``simulate(..., recorder=...)``.
+    """Opt-in span collector: set ``RunConfig(recorder=...)``.
 
     After the run, :attr:`timeline` holds the recorded
-    :class:`Timeline`.  A recorder can be reused; each ``simulate``
-    call replaces the previous timeline.
+    :class:`Timeline`.  A recorder can be reused; each
+    ``simulate_config`` call replaces the previous timeline.
     """
 
     def __init__(self) -> None:

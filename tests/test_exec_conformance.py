@@ -1,0 +1,141 @@
+"""Cross-backend conformance: live actors vs the discrete simulator,
+and the served multi-session mode.
+
+The property pinned here is the PR's core claim: a *real* asyncio run
+of the Section 3.2 message protocol produces the same match outcome —
+per-processor activation counts, message counts, conflict-set
+deliveries — as the discrete-event simulator, on arbitrary generated
+traces.  The served mode must additionally keep concurrent sessions
+isolated: N overlapping sessions each equal a solo run.
+"""
+
+import json
+import socket
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check.generate import generate_cases
+from repro.exec import (ServedExecutor, SessionServer, match_signature,
+                        run)
+from repro.mpc import TABLE_5_1, RunConfig, simulate_config
+from repro.workloads import rubik_section, weaver_section
+
+from tests.test_simulator_properties import random_traces
+
+OV8 = next(o for o in TABLE_5_1 if o.total_us == 8)
+
+
+def signatures_match(trace, config):
+    live = run(trace, config, backend="actors")
+    sim = run(trace, config)
+    assert match_signature(live) == match_signature(sim)
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=random_traces(),
+       n_procs=st.integers(min_value=1, max_value=8),
+       overheads=st.sampled_from(TABLE_5_1))
+def test_actors_equal_sim_on_random_traces(trace, n_procs, overheads):
+    """Property: identical match/fire sequences on arbitrary traces."""
+    signatures_match(trace, RunConfig(n_procs=n_procs,
+                                      overheads=overheads))
+
+
+@pytest.mark.parametrize("case", [
+    c for c in generate_cases(seed=0, budget=10) if c.family != "program"
+], ids=lambda c: f"{c.family}-{c.index}")
+def test_actors_equal_sim_on_adversarial_cases(case):
+    """The conformance harness's own generated hard cases (cross
+    products, modify bursts, empty cycles, deep chains...)."""
+    signatures_match(case.trace, RunConfig(n_procs=4, overheads=OV8))
+
+
+class TestServedSessions:
+    def test_concurrent_sessions_are_isolated(self):
+        """N overlapping sessions on different traces: each equals its
+        own solo run — no shared working memory bleeds through."""
+        traces = [rubik_section(), weaver_section(),
+                  rubik_section(seed=3), weaver_section(seed=5)]
+        config = RunConfig(n_procs=4, overheads=OV8)
+        with ServedExecutor(max_sessions=2) as executor:
+            handles = [executor.submit(trace, config)
+                       for trace in traces]
+            outcomes = [handle.result() for handle in handles]
+        for trace, outcome in zip(traces, outcomes):
+            assert outcome.backend == "served"
+            solo = simulate_config(trace, config)
+            assert match_signature(outcome) == \
+                match_signature(run(trace, config))
+            # Counters match the simulator field for field; only the
+            # makespan differs (wall time on a live backend).
+            for live_cycle, sim_cycle in zip(outcome.result.cycles,
+                                             solo.cycles):
+                assert live_cycle.proc_busy_us == sim_cycle.proc_busy_us
+                assert live_cycle.n_messages == sim_cycle.n_messages
+                assert live_cycle.network_busy_us == \
+                    sim_cycle.network_busy_us
+                assert live_cycle.control_busy_us == \
+                    sim_cycle.control_busy_us
+
+    def test_same_input_sessions_identical(self):
+        trace = rubik_section()
+        config = RunConfig(n_procs=8, overheads=OV8)
+        with ServedExecutor() as executor:
+            outcomes = [executor.submit(trace, config).result()
+                        for _ in range(4)]
+        first = match_signature(outcomes[0])
+        for outcome in outcomes[1:]:
+            assert match_signature(outcome) == first
+
+    def test_session_limit_validated(self):
+        with pytest.raises(ValueError, match="max_sessions"):
+            SessionServer(max_sessions=0)
+
+    def test_run_front_door(self):
+        trace = rubik_section()
+        config = RunConfig(n_procs=2)
+        outcome = run(trace, config, backend="served")
+        assert match_signature(outcome) == \
+            match_signature(run(trace, config))
+
+
+class TestTcpFrontEnd:
+    def request(self, port, payload):
+        with socket.create_connection(("127.0.0.1", port),
+                                      timeout=30) as sock:
+            sock.sendall(json.dumps(payload).encode() + b"\n")
+            reply = b""
+            while not reply.endswith(b"\n"):
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                reply += chunk
+        return json.loads(reply)
+
+    def test_json_line_session(self):
+        with SessionServer(max_sessions=4) as server:
+            port = server.serve_tcp()
+            reply = self.request(port, {"section": "rubik", "procs": 8,
+                                        "overhead": 8})
+        assert reply["ok"]
+        assert reply["section"] == "rubik"
+        expected = run(rubik_section(),
+                       RunConfig(n_procs=8, overheads=OV8))
+        assert reply["cycles"] == len(expected.result.cycles)
+        assert reply["n_messages"] == expected.result.n_messages
+        assert reply["total_us"] > 0  # wall time on a live backend
+        assert reply["wall_s"] > 0
+        assert [tuple(f) for f in reply["fires"]] == expected.fires
+
+    def test_bad_requests_answered_not_dropped(self):
+        with SessionServer() as server:
+            port = server.serve_tcp()
+            unknown = self.request(port, {"section": "nope"})
+            bad_overhead = self.request(port, {"section": "rubik",
+                                               "overhead": 7})
+        assert not unknown["ok"]
+        assert "unknown section" in unknown["error"]
+        assert not bad_overhead["ok"]
+        assert "overhead" in bad_overhead["error"]

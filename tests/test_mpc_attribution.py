@@ -10,10 +10,10 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.mpc import (FailStop, FaultModel, StallWindow,
+from repro.mpc import (FailStop, FaultModel, RunConfig, StallWindow,
                        TimelineRecorder, attribute_cycle,
                        attribute_timeline, critical_path,
-                       format_attribution, simulate)
+                       format_attribution, simulate_config)
 from repro.mpc.attribution import IDLE_CATEGORIES
 from repro.mpc.costmodel import TABLE_5_1
 from repro.workloads import tourney_section, weaver_section
@@ -25,8 +25,9 @@ OV16 = next(o for o in TABLE_5_1 if o.total_us == 16)
 
 def attributed(trace, n_procs, **kwargs):
     recorder = TimelineRecorder()
-    result = simulate(trace, n_procs=n_procs, recorder=recorder,
-                      **kwargs)
+    result = simulate_config(trace, RunConfig(n_procs=n_procs,
+                                              recorder=recorder,
+                                              **kwargs))
     return result, recorder.timeline, attribute_timeline(recorder.timeline)
 
 
@@ -143,8 +144,8 @@ class TestReport:
        n_procs=st.integers(min_value=1, max_value=12))
 def test_property_categories_always_partition(trace, n_procs):
     recorder = TimelineRecorder()
-    result = simulate(trace, n_procs=n_procs, overheads=OV16,
-                      recorder=recorder)
+    result = simulate_config(trace, RunConfig(
+        n_procs=n_procs, overheads=OV16, recorder=recorder))
     section = attribute_timeline(recorder.timeline)
     for attribution, cycle_result in zip(section.cycles, result.cycles):
         attribution.check_sums()
@@ -162,8 +163,8 @@ def test_property_categories_always_partition(trace, n_procs):
 def test_property_sums_hold_under_faults(trace, loss, n_procs):
     faults = FaultModel(seed=2, loss_prob=loss, dup_prob=0.1)
     recorder = TimelineRecorder()
-    simulate(trace, n_procs=n_procs, overheads=OV16, faults=faults,
-             recorder=recorder)
+    simulate_config(trace, RunConfig(n_procs=n_procs, overheads=OV16,
+                                     faults=faults, recorder=recorder))
     section = attribute_timeline(recorder.timeline)
     for attribution in section.cycles:
         attribution.check_sums()

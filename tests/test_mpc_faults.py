@@ -18,9 +18,9 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.mpc import (DEFAULT_PROTOCOL, TABLE_5_1, FailStop, FaultModel,
-                       GridPoint, ProtocolModel, StallWindow, fault_sweep,
-                       plan_delivery, run_grid, simulate, simulate_base,
-                       speedup)
+                       GridPoint, ProtocolModel, RunConfig, StallWindow,
+                       fault_sweep, plan_delivery, run_grid, simulate,
+                       simulate_base, simulate_config, speedup)
 from repro.mpc._reference import simulate_reference
 from repro.mpc.faults import counter_u01
 from repro.workloads import rubik_section, tourney_section, weaver_section
@@ -107,10 +107,10 @@ class TestZeroFaultTransparency:
     def test_sections_bit_identical(self, sections, overheads):
         for trace in sections:
             plain = simulate(trace, n_procs=16, overheads=overheads)
-            with_null = simulate(trace, n_procs=16, overheads=overheads,
-                                 faults=FaultModel())
-            with_none = simulate(trace, n_procs=16, overheads=overheads,
-                                 faults=None)
+            with_null = simulate_config(trace, RunConfig(
+                n_procs=16, overheads=overheads, faults=FaultModel()))
+            with_none = simulate_config(trace, RunConfig(
+                n_procs=16, overheads=overheads, faults=None))
             assert_results_identical(plain, with_null)
             assert_results_identical(plain, with_none)
             assert_results_identical(
@@ -131,19 +131,22 @@ class TestSectionDeterminism:
         faults = FaultModel(seed=11, loss_prob=0.01, dup_prob=0.005,
                             jitter_us=3.0)
         for trace in sections:
-            a = simulate(trace, n_procs=16, overheads=OVERHEADS,
-                         faults=faults)
-            b = simulate(trace, n_procs=16, overheads=OVERHEADS,
-                         faults=FaultModel(seed=11, loss_prob=0.01,
-                                           dup_prob=0.005, jitter_us=3.0))
+            a = simulate_config(trace, RunConfig(
+                n_procs=16, overheads=OVERHEADS, faults=faults))
+            b = simulate_config(trace, RunConfig(
+                n_procs=16, overheads=OVERHEADS,
+                faults=FaultModel(seed=11, loss_prob=0.01,
+                                  dup_prob=0.005, jitter_us=3.0)))
             assert_results_identical(a, b)
 
     def test_different_seed_differs(self, sections):
         trace = sections[1]  # tourney: enough messages to hit faults
-        a = simulate(trace, n_procs=16, overheads=OVERHEADS,
-                     faults=FaultModel(seed=0, loss_prob=0.05))
-        b = simulate(trace, n_procs=16, overheads=OVERHEADS,
-                     faults=FaultModel(seed=1, loss_prob=0.05))
+        a = simulate_config(trace, RunConfig(
+            n_procs=16, overheads=OVERHEADS,
+            faults=FaultModel(seed=0, loss_prob=0.05)))
+        b = simulate_config(trace, RunConfig(
+            n_procs=16, overheads=OVERHEADS,
+            faults=FaultModel(seed=1, loss_prob=0.05)))
         assert a.retransmits != b.retransmits or a.total_us != b.total_us
 
     def test_parallel_equals_serial_with_faults(self, sections):
@@ -162,8 +165,9 @@ class TestProtocolAccounting:
         """At loss 1 every data message burns its whole retry budget."""
         trace = sections[0]
         proto = ProtocolModel(timeout_us=50.0, max_retries=2)
-        run = simulate(trace, n_procs=16, overheads=OVERHEADS,
-                       faults=FaultModel(loss_prob=1.0), protocol=proto)
+        run = simulate_config(trace, RunConfig(
+            n_procs=16, overheads=OVERHEADS,
+            faults=FaultModel(loss_prob=1.0), protocol=proto))
         n_data_messages = run.acks  # one ack per delivered message here
         assert run.retransmits == proto.max_retries * n_data_messages
         assert run.timeout_wait_us == pytest.approx(
@@ -177,15 +181,17 @@ class TestProtocolAccounting:
             plain = simulate(trace, n_procs=16, overheads=OVERHEADS)
             # dup_prob tiny but nonzero -> protocol active; seed chosen
             # freely, losses may or may not fire.
-            guarded = simulate(trace, n_procs=16, overheads=OVERHEADS,
-                               faults=FaultModel(seed=0, dup_prob=1e-9))
+            guarded = simulate_config(trace, RunConfig(
+                n_procs=16, overheads=OVERHEADS,
+                faults=FaultModel(seed=0, dup_prob=1e-9)))
             assert guarded.total_us > plain.total_us
             assert guarded.acks > 0
 
     def test_duplicates_all_dropped(self, sections):
         trace = sections[0]
-        run = simulate(trace, n_procs=16, overheads=OVERHEADS,
-                       faults=FaultModel(dup_prob=1.0))
+        run = simulate_config(trace, RunConfig(
+            n_procs=16, overheads=OVERHEADS,
+            faults=FaultModel(dup_prob=1.0)))
         assert run.duplicate_drops == run.acks // 2
         assert run.duplicate_drops > 0
 
@@ -200,29 +206,29 @@ class TestStallsAndFailStop:
     def test_stall_never_speeds_up(self, sections):
         trace = sections[0]
         plain = simulate(trace, n_procs=8)
-        stalled = simulate(
-            trace, n_procs=8,
-            faults=FaultModel(stalls=(StallWindow(0, 0.0, 5000.0),)))
+        stalled = simulate_config(trace, RunConfig(
+            n_procs=8,
+            faults=FaultModel(stalls=(StallWindow(0, 0.0, 5000.0),))))
         assert stalled.total_us >= plain.total_us
         assert stalled.stall_us > 0
 
     def test_fail_stop_accrues_recovery_and_delays(self, sections):
         trace = sections[0]
         plain = simulate(trace, n_procs=8)
-        crashed = simulate(
-            trace, n_procs=8,
+        crashed = simulate_config(trace, RunConfig(
+            n_procs=8,
             faults=FaultModel(failures=(
                 FailStop(proc=2, cycle=trace.cycles[0].index,
-                         recovery_us=50_000.0),)))
+                         recovery_us=50_000.0),))))
         assert crashed.recovery_us == 50_000.0
         assert crashed.total_us > plain.total_us
 
     def test_stall_on_out_of_range_proc_is_ignored(self, sections):
         trace = sections[0]
         plain = simulate(trace, n_procs=4)
-        ghost = simulate(
-            trace, n_procs=4,
-            faults=FaultModel(stalls=(StallWindow(99, 0.0, 1e6),)))
+        ghost = simulate_config(trace, RunConfig(
+            n_procs=4,
+            faults=FaultModel(stalls=(StallWindow(99, 0.0, 1e6),))))
         assert ghost.total_us == plain.total_us
 
 
@@ -239,11 +245,12 @@ def test_same_seed_bit_identical_on_random_traces(trace, n_procs, seed,
                                                   loss, dup, jitter):
     faults = FaultModel(seed=seed, loss_prob=loss, dup_prob=dup,
                         jitter_us=jitter)
-    a = simulate(trace, n_procs=n_procs, overheads=OVERHEADS,
-                 faults=faults)
-    b = simulate(trace, n_procs=n_procs, overheads=OVERHEADS,
-                 faults=FaultModel(seed=seed, loss_prob=loss,
-                                   dup_prob=dup, jitter_us=jitter))
+    a = simulate_config(trace, RunConfig(
+        n_procs=n_procs, overheads=OVERHEADS, faults=faults))
+    b = simulate_config(trace, RunConfig(
+        n_procs=n_procs, overheads=OVERHEADS,
+        faults=FaultModel(seed=seed, loss_prob=loss,
+                          dup_prob=dup, jitter_us=jitter)))
     assert_results_identical(a, b)
 
 
@@ -251,8 +258,8 @@ def test_same_seed_bit_identical_on_random_traces(trace, n_procs, seed,
        n_procs=st.integers(min_value=1, max_value=16))
 def test_zero_fault_equals_fault_free_on_random_traces(trace, n_procs):
     plain = simulate(trace, n_procs=n_procs, overheads=OVERHEADS)
-    nulled = simulate(trace, n_procs=n_procs, overheads=OVERHEADS,
-                      faults=FaultModel())
+    nulled = simulate_config(trace, RunConfig(
+        n_procs=n_procs, overheads=OVERHEADS, faults=FaultModel()))
     assert_results_identical(plain, nulled)
 
 
@@ -263,9 +270,10 @@ def test_faults_never_beat_the_perfect_network(trace, n_procs, seed):
     """Total busy time under faults is at least the fault-free total:
     the protocol layer only ever adds work."""
     plain = simulate(trace, n_procs=n_procs, overheads=OVERHEADS)
-    faulty = simulate(trace, n_procs=n_procs, overheads=OVERHEADS,
-                      faults=FaultModel(seed=seed, loss_prob=0.2,
-                                        dup_prob=0.1, jitter_us=5.0))
+    faulty = simulate_config(trace, RunConfig(
+        n_procs=n_procs, overheads=OVERHEADS,
+        faults=FaultModel(seed=seed, loss_prob=0.2,
+                          dup_prob=0.1, jitter_us=5.0)))
     busy_plain = sum(sum(c.proc_busy_us) for c in plain.cycles)
     busy_faulty = sum(sum(c.proc_busy_us) for c in faulty.cycles)
     assert busy_faulty >= busy_plain - 1e-9
@@ -277,8 +285,8 @@ def test_faults_never_beat_the_perfect_network(trace, n_procs, seed):
        seed=st.integers(min_value=0, max_value=5))
 def test_speedup_still_physical_under_faults(trace, n_procs, seed):
     base = simulate_base(trace)
-    run = simulate(trace, n_procs=n_procs,
-                   faults=FaultModel(seed=seed, loss_prob=0.1,
-                                     jitter_us=2.0))
+    run = simulate_config(trace, RunConfig(
+        n_procs=n_procs,
+        faults=FaultModel(seed=seed, loss_prob=0.1, jitter_us=2.0)))
     s = speedup(base, run)
     assert 0 < s <= n_procs + 1e-9

@@ -47,6 +47,18 @@ def reset_default_workers():
     set_default_workers(None)
 
 
+@pytest.fixture(autouse=True)
+def force_pool(monkeypatch):
+    """Push every test past the pool-benefit gate.
+
+    The gate (:func:`repro.mpc.parallel.pool_worth_it`) would silently
+    serialize the pool machinery on small traces or 1-CPU hosts —
+    correct in production, but these tests exist to exercise the pool
+    itself.  The gate's own tests override this per-case.
+    """
+    monkeypatch.setenv(parallel_mod.ENV_FORCE_POOL, "1")
+
+
 def assert_results_equal(a, b):
     assert a.total_us == b.total_us
     assert a.n_messages == b.n_messages
@@ -61,6 +73,47 @@ def assert_curves_equal(ca, cb):
     assert ca.speedups == cb.speedups, "parallel sweep changed speedups"
     for ra, rb in zip(ca.results, cb.results):
         assert_results_equal(ra, rb)
+
+
+class TestBenefitGate:
+    """pool_worth_it and its wiring into run_grid (ROADMAP: the
+    parallel sweep must never lose to serial on a 1-CPU box)."""
+
+    def test_env_overrides(self, monkeypatch, sections):
+        monkeypatch.setenv(parallel_mod.ENV_FORCE_POOL, "1")
+        assert parallel_mod.pool_worth_it(sections[2], 4)
+        monkeypatch.setenv(parallel_mod.ENV_FORCE_POOL, "0")
+        assert not parallel_mod.pool_worth_it(sections[2], 4)
+
+    def test_single_cpu_never_pools(self, monkeypatch, sections):
+        monkeypatch.delenv(parallel_mod.ENV_FORCE_POOL, raising=False)
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 1)
+        assert not parallel_mod.pool_worth_it(sections[0], 1000)
+
+    def test_small_work_stays_serial(self, monkeypatch, sections):
+        monkeypatch.delenv(parallel_mod.ENV_FORCE_POOL, raising=False)
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 8)
+        weaver = sections[2]
+        assert not parallel_mod.pool_worth_it(weaver, 1)
+        big_enough = (parallel_mod.MIN_POOL_ACTIVATIONS
+                      // weaver.total_activations() + 1)
+        assert parallel_mod.pool_worth_it(weaver, big_enough)
+
+    def test_gated_grid_matches_and_logs_serial(self, monkeypatch,
+                                                caplog, sections):
+        import logging
+
+        monkeypatch.delenv(parallel_mod.ENV_FORCE_POOL, raising=False)
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 1)
+        weaver = sections[2]
+        points = [GridPoint(n_procs=n) for n in PROCS]
+        with caplog.at_level(logging.DEBUG, logger="repro.mpc.parallel"):
+            gated = run_grid(weaver, points, workers=2)
+        assert "grid_serial" in caplog.text, \
+            "benefit gate should have taken the serial path"
+        serial = run_grid(weaver, points, workers=1)
+        for a, b in zip(gated, serial):
+            assert_results_equal(a, b)
 
 
 class TestResolveWorkers:

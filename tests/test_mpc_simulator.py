@@ -4,8 +4,9 @@ timings, conservation laws, and overhead behaviour."""
 import pytest
 
 from repro.mpc import (CostModel, ExplicitMapping, OverheadModel,
-                       RoundRobinMapping, ZERO_OVERHEADS, bucket_work,
-                       simulate, simulate_base, speedup)
+                       RoundRobinMapping, RunConfig, ZERO_OVERHEADS,
+                       bucket_work, simulate, simulate_base,
+                       simulate_config, speedup)
 from repro.rete.hashing import BucketKey
 from repro.trace import CycleTrace, SectionTrace, TraceActivation
 
@@ -152,14 +153,15 @@ class TestParallelBehaviour:
             BucketKey(1, ("a",)): 0, BucketKey(1, ("b",)): 0})
         apart = ExplicitMapping(n_procs=2, assignment={
             BucketKey(1, ("a",)): 0, BucketKey(1, ("b",)): 1})
-        t_together = simulate(trace, 2, mapping=together).total_us
-        t_apart = simulate(trace, 2, mapping=apart).total_us
+        t_together = simulate_config(
+            trace, RunConfig(n_procs=2, mapping=together)).total_us
+        t_apart = simulate_config(
+            trace, RunConfig(n_procs=2, mapping=apart)).total_us
         assert t_apart < t_together
 
     def test_mapping_proc_count_mismatch_rejected(self):
         with pytest.raises(ValueError):
-            simulate(fanout_trace(), n_procs=4,
-                     mapping=RoundRobinMapping(n_procs=8))
+            RunConfig(n_procs=4, mapping=RoundRobinMapping(n_procs=8))
 
     def test_rejects_zero_procs(self):
         with pytest.raises(ValueError):

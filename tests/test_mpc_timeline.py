@@ -13,8 +13,9 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.mpc import (FaultModel, OverheadModel, ProtocolModel,
-                       StallWindow, TimelineRecorder, chrome_trace,
-                       gantt, gantt_section, simulate, timeline_jsonl,
+                       RunConfig, StallWindow, TimelineRecorder,
+                       chrome_trace, gantt, gantt_section, simulate,
+                       simulate_config, timeline_jsonl,
                        write_chrome_trace)
 from repro.mpc.costmodel import TABLE_5_1
 from repro.mpc.timeline import CONTROL, NETWORK, CATEGORIES
@@ -32,8 +33,9 @@ def weaver():
 
 def recorded(trace, n_procs, **kwargs):
     recorder = TimelineRecorder()
-    result = simulate(trace, n_procs=n_procs, recorder=recorder,
-                      **kwargs)
+    result = simulate_config(trace, RunConfig(n_procs=n_procs,
+                                              recorder=recorder,
+                                              **kwargs))
     return result, recorder.timeline
 
 
@@ -47,7 +49,8 @@ class TestBitIdentity:
     def test_faulty(self, weaver):
         faults = FaultModel(seed=11, loss_prob=0.15, dup_prob=0.05,
                             jitter_us=3.0)
-        base = simulate(weaver, n_procs=8, overheads=OV16, faults=faults)
+        base = simulate_config(weaver, RunConfig(
+            n_procs=8, overheads=OV16, faults=faults))
         result, timeline = recorded(weaver, 8, overheads=OV16,
                                     faults=faults)
         assert result == base
@@ -55,9 +58,11 @@ class TestBitIdentity:
 
     def test_recorder_reusable(self, weaver):
         recorder = TimelineRecorder()
-        simulate(weaver, n_procs=2, overheads=OV16, recorder=recorder)
+        simulate_config(weaver, RunConfig(n_procs=2, overheads=OV16,
+                                          recorder=recorder))
         first = recorder.timeline
-        simulate(weaver, n_procs=4, overheads=OV16, recorder=recorder)
+        simulate_config(weaver, RunConfig(n_procs=4, overheads=OV16,
+                                          recorder=recorder))
         assert recorder.timeline is not first
         assert recorder.timeline.n_procs == 4
 
@@ -124,8 +129,8 @@ def test_recorder_never_changes_results(trace, n_procs):
     overheads = OverheadModel(send_us=5.0, recv_us=3.0)
     base = simulate(trace, n_procs=n_procs, overheads=overheads)
     recorder = TimelineRecorder()
-    result = simulate(trace, n_procs=n_procs, overheads=overheads,
-                      recorder=recorder)
+    result = simulate_config(trace, RunConfig(
+        n_procs=n_procs, overheads=overheads, recorder=recorder))
     assert result == base
     for cycle_timeline, cycle_result in zip(recorder.timeline.cycles,
                                             result.cycles):
@@ -137,11 +142,12 @@ def test_recorder_never_changes_results(trace, n_procs):
        loss=st.sampled_from([0.0, 0.1, 0.5]))
 def test_recorder_never_changes_fault_results(trace, n_procs, loss):
     faults = FaultModel(seed=1, loss_prob=loss, dup_prob=0.1)
-    base = simulate(trace, n_procs=n_procs, overheads=OV16,
-                    faults=faults)
+    base = simulate_config(trace, RunConfig(
+        n_procs=n_procs, overheads=OV16, faults=faults))
     recorder = TimelineRecorder()
-    result = simulate(trace, n_procs=n_procs, overheads=OV16,
-                      faults=faults, recorder=recorder)
+    result = simulate_config(trace, RunConfig(
+        n_procs=n_procs, overheads=OV16, faults=faults,
+        recorder=recorder))
     assert result == base
     if not faults.is_null:
         for cycle_timeline, cycle_result in zip(recorder.timeline.cycles,

@@ -11,7 +11,8 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.mpc import (CostModel, OverheadModel, ZERO_OVERHEADS,
-                       RandomMapping, simulate, simulate_base,
+                       RandomMapping, RunConfig, simulate,
+                       simulate_base, simulate_config,
                        simulate_master_copy, simulate_pairs,
                        simulate_replicated, speedup)
 from repro.rete.hashing import BucketKey
@@ -101,9 +102,11 @@ def test_overheads_never_help(trace, n_procs):
        seed=st.integers(min_value=0, max_value=3))
 def test_determinism(trace, n_procs, seed):
     mapping = RandomMapping(n_procs=n_procs, seed=seed)
-    a = simulate(trace, n_procs=n_procs, mapping=mapping)
-    b = simulate(trace, n_procs=n_procs,
-                 mapping=RandomMapping(n_procs=n_procs, seed=seed))
+    a = simulate_config(trace, RunConfig(n_procs=n_procs,
+                                         mapping=mapping))
+    b = simulate_config(trace, RunConfig(
+        n_procs=n_procs,
+        mapping=RandomMapping(n_procs=n_procs, seed=seed)))
     assert a.total_us == b.total_us
     assert [c.proc_busy_us for c in a.cycles] == \
         [c.proc_busy_us for c in b.cycles]
