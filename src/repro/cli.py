@@ -160,7 +160,8 @@ def cmd_simulate(args) -> int:
         points = [GridPoint(n_procs=c.n_procs, overheads=c.overheads,
                             faults=c.faults,
                             protocol=c.protocol if c.faults is not None
-                            else None)
+                            else None,
+                            compress_rounds=c.compress_rounds)
                   for c in configs]
         runs = run_grid(trace, points,
                         workers=getattr(args, "workers", None))
@@ -491,6 +492,9 @@ def _run_backend(args) -> int:
     from .exec import get_executor, match_signature
     from .exec import run as exec_run
     config = _run_config(args, n_procs=args.procs)
+    if config.compress_rounds and args.backend != "sim":
+        raise CLIError("--compress-rounds applies to the sim backend "
+                       "only (live backends execute every cycle)")
     trace = _load_trace(args)
     try:
         if args.backend == "served":
@@ -530,7 +534,7 @@ def _run_backend(args) -> int:
             "backend": args.backend,
             "n_procs": config.n_procs,
             "overheads_us": config.overheads.total_us,
-            "cycles": len(result.cycles),
+            "cycles": result.n_cycles,
             "n_messages": result.n_messages,
             "instantiations": n_fires,
             "wall_s": outcome.wall_s,
@@ -543,7 +547,7 @@ def _run_backend(args) -> int:
         print(json.dumps(payload, indent=2))
         return 0
     print(f"{trace.name} on backend {args.backend}: "
-          f"{len(result.cycles)} cycles, {result.n_messages} messages, "
+          f"{result.n_cycles} cycles, {result.n_messages} messages, "
           f"{n_fires} instantiations "
           f"({config.n_procs} procs, overheads "
           f"{config.overheads.label()})")
@@ -611,6 +615,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeline", metavar="PATH",
         help="record the run and write a Chrome trace-event file here")
 
+    compressp = argparse.ArgumentParser(add_help=False)
+    compressp.add_argument(
+        "--compress-rounds", action="store_true",
+        help="collapse fully-idle cycle stretches analytically "
+             "(bit-identical results, O(active work) runtime; "
+             "incompatible with fault injection)")
+
     def source_parent(default_section: str) -> argparse.ArgumentParser:
         src = argparse.ArgumentParser(add_help=False)
         group = src.add_mutually_exclusive_group()
@@ -646,7 +657,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("simulate", help="simulate a section on an MPC",
                        parents=[perf, fault, verb,
                                 source_parent("rubik"), seedp, jsonp,
-                                timelinep])
+                                timelinep, compressp])
     p.add_argument("--procs", type=int, nargs="+",
                    default=[1, 2, 4, 8, 16, 32])
     p.add_argument("--overhead", type=int, default=0,
@@ -774,7 +785,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "server). Live runs are cross-checked against the "
                     "simulator: same match counters, same fire "
                     "sequence.",
-        parents=[verb, source_parent("rubik"), seedp, jsonp])
+        parents=[verb, source_parent("rubik"), seedp, jsonp,
+                 compressp])
     p.add_argument("source", nargs="?",
                    help="an OPS5 source file (legacy direct mode; "
                         "overrides --backend)")

@@ -22,15 +22,16 @@ from .faults import (DEFAULT_PROTOCOL, DeliveryPlan, FailStop, FaultModel,
 from .mapping import (DEFAULT_N_BUCKETS, BucketMapping, ExplicitMapping,
                       RandomMapping, RoundRobinMapping, greedy_assignment,
                       greedy_mapping)
-from .metrics import CycleResult, SimResult, speedup, speedup_series
+from .metrics import (CycleResult, SimResult, SparseProcArray, speedup,
+                      speedup_series)
 from .pairs import simulate_pairs
 from .parallel import (GridPoint, parallel_overhead_sweep,
                        parallel_speedup_curve, pool_worth_it,
                        resolve_workers, run_grid, set_default_workers)
 from .sharedbus import DEFAULT_QUEUE_ACCESS_US, simulate_shared_bus
 from .simulator import (BucketWorkCache, GreedyMappingFactory, bucket_work,
-                        compute_search_costs, simulate, simulate_base,
-                        simulate_config)
+                        compute_search_costs, iter_cycle_results, simulate,
+                        simulate_base, simulate_config)
 from .termination import (TerminationScheme, apply_termination,
                           detection_delay, termination_overhead_fraction)
 from .timeline import (CATEGORIES, CONTROL, GANTT_LEGEND, NETWORK,
@@ -43,9 +44,10 @@ from .attribution import (IDLE_CATEGORIES, CycleAttribution,
                           attribute_timeline, critical_path,
                           format_attribution)
 from .sweep import (DEFAULT_LOSS_RATES, DEFAULT_PROC_COUNTS,
-                    DegradationCurve, SpeedupCurve, fault_sweep,
-                    format_curves, format_degradation, overhead_sweep,
-                    speedup_curve, speedup_loss)
+                    SCALE_PROC_COUNTS, DegradationCurve, SpeedupCurve,
+                    fault_sweep, format_curves, format_degradation,
+                    overhead_sweep, speedup_curve, speedup_loss,
+                    total_time_us)
 
 __all__ = [
     "DEFAULT_COSTS", "TABLE_5_1", "ZERO_OVERHEADS", "CostModel",
@@ -57,13 +59,15 @@ __all__ = [
     "DEFAULT_N_BUCKETS", "BucketMapping", "ExplicitMapping",
     "RandomMapping", "RoundRobinMapping", "greedy_assignment",
     "greedy_mapping",
-    "CycleResult", "SimResult", "speedup", "speedup_series",
+    "CycleResult", "SimResult", "SparseProcArray", "speedup",
+    "speedup_series",
     "OVERHEADS", "MappingFactory", "RunConfig",
     "BucketWorkCache", "GreedyMappingFactory",
-    "bucket_work", "compute_search_costs", "simulate", "simulate_base",
-    "simulate_config",
-    "DEFAULT_PROC_COUNTS", "SpeedupCurve", "format_curves",
-    "overhead_sweep", "speedup_curve", "speedup_loss",
+    "bucket_work", "compute_search_costs", "iter_cycle_results",
+    "simulate", "simulate_base", "simulate_config",
+    "DEFAULT_PROC_COUNTS", "SCALE_PROC_COUNTS", "SpeedupCurve",
+    "format_curves", "overhead_sweep", "speedup_curve", "speedup_loss",
+    "total_time_us",
     "GridPoint", "parallel_overhead_sweep", "parallel_speedup_curve",
     "pool_worth_it", "resolve_workers", "run_grid",
     "set_default_workers",

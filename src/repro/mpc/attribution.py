@@ -59,7 +59,16 @@ _CATEGORY_LABELS = {
 
 @dataclass(slots=True)
 class CycleAttribution:
-    """One cycle's idle decomposition, busy composition, critical path."""
+    """One cycle's idle decomposition, busy composition, critical path.
+
+    For a compressed idle stretch (``repeat`` > 1, from a
+    round-compressed run's timeline) the time quantities — ``idle_us``,
+    ``busy_us``, the category maps and ``per_proc_idle_us`` — cover the
+    *whole stretch*, scaled exactly from the template cycle;
+    ``makespan_us`` stays per-cycle.  :meth:`check_sums` holds
+    bit-exactly either way (0.5 µs-granular costs make the scaling
+    distribute exactly over the category sums).
+    """
 
     index: int
     makespan_us: float
@@ -70,6 +79,8 @@ class CycleAttribution:
     busy_by_category: Dict[str, float]
     per_proc_idle_us: List[float]
     critical_path: List[Envelope]
+    #: How many consecutive identical cycles this entry covers.
+    repeat: int = 1
 
     def check_sums(self, *, exact: bool = True,
                    rel_tol: float = 1e-9) -> None:
@@ -93,6 +104,11 @@ class SectionAttribution:
     trace_name: str
     n_procs: int
     cycles: List[CycleAttribution] = field(default_factory=list)
+
+    @property
+    def n_cycles(self) -> int:
+        """Number of simulated cycles (compressed runs counted in full)."""
+        return sum(c.repeat for c in self.cycles)
 
     @property
     def idle_us(self) -> float:
@@ -143,7 +159,7 @@ class SectionAttribution:
         return {
             "trace": self.trace_name,
             "n_procs": self.n_procs,
-            "n_cycles": len(self.cycles),
+            "n_cycles": self.n_cycles,
             "idle_us": self.idle_us,
             "busy_us": self.busy_us,
             "average_idle_fraction": self.average_idle_fraction(),
@@ -268,6 +284,19 @@ def attribute_cycle(cycle: CycleTimeline) -> CycleAttribution:
     busy_total = sum(end - start
                      for spans in busy_spans
                      for start, end in spans)
+    repeat = cycle.repeat
+    if repeat != 1:
+        # Scale the stretch's template to the whole run.  Every value
+        # is a multiple of 0.5 µs, so the products are exact and the
+        # partition invariant (check_sums) survives bit-for-bit.
+        idle_by_category = {category: value * repeat
+                            for category, value in
+                            idle_by_category.items()}
+        busy_by_category = {category: value * repeat
+                            for category, value in
+                            busy_by_category.items()}
+        per_proc_idle = [value * repeat for value in per_proc_idle]
+        busy_total = busy_total * repeat
     return CycleAttribution(
         index=cycle.index, makespan_us=makespan, n_procs=cycle.n_procs,
         idle_us=sum(per_proc_idle),
@@ -275,7 +304,8 @@ def attribute_cycle(cycle: CycleTimeline) -> CycleAttribution:
         busy_us=busy_total,
         busy_by_category=busy_by_category,
         per_proc_idle_us=per_proc_idle,
-        critical_path=critical_path(cycle))
+        critical_path=critical_path(cycle),
+        repeat=repeat)
 
 
 def critical_path(cycle: CycleTimeline) -> List[Envelope]:
@@ -326,7 +356,7 @@ def format_attribution(section: SectionAttribution,
     by_category = section.idle_by_category()
     lines.append(
         f"idle time: {idle / 1000:.2f} ms across "
-        f"{section.n_procs} procs x {len(section.cycles)} cycles "
+        f"{section.n_procs} procs x {section.n_cycles} cycles "
         f"({section.average_idle_fraction():.1%} of capacity)")
     width = max(len(label) for label in _CATEGORY_LABELS.values())
     for category in IDLE_CATEGORIES:

@@ -67,6 +67,11 @@ class RunConfig:
     protocol: Optional[ProtocolModel] = None
     #: Optional timeline recorder (simulator backend only).
     recorder: Optional["TimelineRecorder"] = None
+    #: Select the O(active-work) event loop and collapse runs of
+    #: fully-idle cycles analytically (bit-identical results, run-length
+    #: encoded; see :mod:`repro.mpc.simulator`).  Off by default so
+    #: existing comparisons see byte-for-byte identical result shapes.
+    compress_rounds: bool = False
 
     def __post_init__(self) -> None:
         if self.n_procs < 1:
@@ -76,6 +81,13 @@ class RunConfig:
             raise ValueError(
                 f"mapping built for {self.mapping.n_procs} processors, "
                 f"simulating {self.n_procs}")
+        if self.compress_rounds and self.faulty:
+            # StallWindow and the loss/dup/jitter draws are defined per
+            # real cycle; compressing rounds under them would change
+            # which cycles the faults land on.
+            raise ValueError(
+                "compress_rounds is incompatible with fault injection; "
+                "drop --compress-rounds or the fault flags")
 
     @property
     def faulty(self) -> bool:
@@ -94,7 +106,8 @@ class RunConfig:
         """Build a config from CLI-style argparse flags.
 
         Reads ``overhead``, ``loss``, ``dup``, ``jitter``,
-        ``fault_seed``, ``timeout`` and ``retries`` off *args* (each
+        ``fault_seed``, ``timeout``, ``retries`` and
+        ``compress_rounds`` off *args* (each
         optional — missing attributes take the flag defaults), raising
         ``ValueError`` with the CLI's one-line messages on bad values.
         *n_procs* defaults to ``args.procs`` when that is a single
@@ -136,4 +149,6 @@ class RunConfig:
                    faults=None if faults.is_null else faults,
                    protocol=ProtocolModel(timeout_us=timeout,
                                           max_retries=retries),
-                   recorder=recorder)
+                   recorder=recorder,
+                   compress_rounds=getattr(args, "compress_rounds",
+                                           False))

@@ -117,6 +117,10 @@ class GridPoint:
     mapping_factory: Optional[MappingFactory] = None
     faults: Optional[FaultModel] = None
     protocol: Optional[ProtocolModel] = None
+    #: Run this point through the O(active-work) loop with run-length
+    #: encoded idle stretches (numerically identical; the RLE result is
+    #: also far cheaper to pickle back from a worker at large P).
+    compress_rounds: bool = False
 
 
 def _eval_point(trace: SectionTrace, costs: CostModel,
@@ -124,7 +128,8 @@ def _eval_point(trace: SectionTrace, costs: CostModel,
     return simulate_config(trace, RunConfig(
         n_procs=point.n_procs, costs=costs, overheads=point.overheads,
         mapping=point.mapping, mapping_factory=point.mapping_factory,
-        faults=point.faults, protocol=point.protocol))
+        faults=point.faults, protocol=point.protocol,
+        compress_rounds=point.compress_rounds))
 
 
 def pool_worth_it(trace: SectionTrace, n_points: int) -> bool:
@@ -251,7 +256,8 @@ def parallel_speedup_curve(
         mapping_factory_for: Optional[
             Callable[[int], MappingFactory]] = None,
         label: Optional[str] = None,
-        workers: Optional[int] = None) -> SpeedupCurve:
+        workers: Optional[int] = None,
+        compress_rounds: bool = False) -> SpeedupCurve:
     """Parallel counterpart of :func:`repro.mpc.sweep.speedup_curve`.
 
     Numerically identical to the serial version for any worker count:
@@ -262,10 +268,11 @@ def parallel_speedup_curve(
         return _serial_speedup_curve(
             trace, proc_counts, overheads=overheads, costs=costs,
             mapping_for=mapping_for,
-            mapping_factory_for=mapping_factory_for, label=label)
+            mapping_factory_for=mapping_factory_for, label=label,
+            compress_rounds=compress_rounds)
     # Mapping callables run in the parent so only their (picklable
     # dataclass) products travel; factories must pickle whole.
-    points = [GridPoint(n_procs=1)]
+    points = [GridPoint(n_procs=1, compress_rounds=compress_rounds)]
     for n_procs in proc_counts:
         mapping = None
         factory = None
@@ -274,7 +281,8 @@ def parallel_speedup_curve(
         elif mapping_for is not None:
             mapping = mapping_for(n_procs)
         points.append(GridPoint(n_procs=n_procs, overheads=overheads,
-                                mapping=mapping, mapping_factory=factory))
+                                mapping=mapping, mapping_factory=factory,
+                                compress_rounds=compress_rounds))
     results = run_grid(trace, points, costs=costs, workers=workers)
     base, rest = results[0], results[1:]
     return SpeedupCurve(
@@ -289,7 +297,8 @@ def parallel_overhead_sweep(
         proc_counts: Sequence[int] = DEFAULT_PROC_COUNTS,
         overhead_settings: Sequence[OverheadModel] = TABLE_5_1,
         costs: CostModel = DEFAULT_COSTS,
-        workers: Optional[int] = None) -> List[SpeedupCurve]:
+        workers: Optional[int] = None,
+        compress_rounds: bool = False) -> List[SpeedupCurve]:
     """Parallel counterpart of :func:`repro.mpc.sweep.overhead_sweep`.
 
     The whole (overhead setting x processor count) grid is one flat
@@ -298,11 +307,13 @@ def parallel_overhead_sweep(
     """
     if resolve_workers(workers) <= 1:
         return _serial_overhead_sweep(trace, proc_counts,
-                                      overhead_settings, costs)
+                                      overhead_settings, costs,
+                                      compress_rounds=compress_rounds)
     proc_counts = list(proc_counts)
-    points = [GridPoint(n_procs=1)]
+    points = [GridPoint(n_procs=1, compress_rounds=compress_rounds)]
     for overheads in overhead_settings:
-        points.extend(GridPoint(n_procs=n, overheads=overheads)
+        points.extend(GridPoint(n_procs=n, overheads=overheads,
+                                compress_rounds=compress_rounds)
                       for n in proc_counts)
     results = run_grid(trace, points, costs=costs, workers=workers)
     base = results[0]

@@ -33,6 +33,35 @@ once per cycle, and per-event attribute/method lookups are hoisted into
 locals.  :mod:`repro.mpc._reference` preserves the original
 object-based loop; ``tests/test_mpc_parallel.py`` asserts both produce
 bit-identical results.
+
+Scaling to thousands of processors (ROADMAP item 3)
+---------------------------------------------------
+The dense loop above still charges O(P) per cycle — list allocations,
+the final ``max`` — which dominates exactly in the regime the paper
+says matters (mostly-idle machines).  ``RunConfig(compress_rounds=
+True)`` switches to two complementary optimizations, both **bit-exact**
+(the ``compressed_vs_exact`` oracle in :mod:`repro.check` holds them to
+the reference loop):
+
+* an **active-set event loop** (:func:`_simulate_cycle_active`): per
+  cycle only processors that did cycle-specific work get entries in
+  the ready/busy dictionaries; everyone else sits at the closed-form
+  broadcast + constant-test floor, represented once by a
+  :class:`~repro.mpc.metrics.SparseProcArray` default.  Every
+  floating-point operation that *does* happen uses the same operands
+  in the same order as the dense loop, so results are bit-identical.
+* **round compression**: a run of consecutive fully-idle cycles is
+  collapsed analytically into one closed-form :class:`CycleResult`
+  (:func:`_idle_cycle_result`) carried with a repeat count — the
+  counters are advanced exactly, in the spirit of the round-compression
+  literature, not approximated.
+
+:func:`iter_cycle_results` is the memory-bounded core both modes share:
+it yields ``(CycleResult, repeat)`` pairs one at a time and accepts
+streaming trace sources (anything yielding
+:class:`~repro.trace.events.CycleTrace` / :class:`~repro.trace.events
+.IdleRun` entries), so traces with 10⁶+ activations never need to be
+materialized.
 """
 
 from __future__ import annotations
@@ -40,23 +69,25 @@ from __future__ import annotations
 import heapq
 import warnings
 from collections import defaultdict
-from typing import Dict, List, Optional
+from dataclasses import replace
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..rete.hashing import BucketKey
-from ..trace.events import (KIND_TERMINAL, LEFT, CycleTrace, SectionTrace)
+from ..trace.events import (KIND_TERMINAL, LEFT, CycleTrace, IdleRun,
+                            SectionTrace, iter_cycles)
 from .config import MappingFactory, RunConfig
 from .costmodel import DEFAULT_COSTS, ZERO_OVERHEADS, CostModel, \
     OverheadModel
 from .mapping import BucketMapping, RoundRobinMapping, greedy_mapping
-from .metrics import CycleResult, SimResult
+from .metrics import CycleResult, SimResult, SparseProcArray
 
 #: Test-only mis-pricing hook for the conformance harness
-#: (:mod:`repro.check`).  When nonzero, the optimized event loop — and
-#: only it; the reference loop, the fault/protocol loop and the recorded
-#: mirror all ignore it — charges right tokens this many extra
-#: microseconds.  The harness's mutation smoke test sets it (via
-#: :func:`repro.check.mutate_cost`) to prove the oracle matrix catches a
-#: mis-priced cost constant.  Never set it outside tests.
+#: (:mod:`repro.check`).  When nonzero, the optimized event loops —
+#: dense and active-set; the reference loop, the fault/protocol loop
+#: and the recorded mirror all ignore it — charge right tokens this
+#: many extra microseconds.  The harness's mutation smoke test sets it
+#: (via :func:`repro.check.mutate_cost`) to prove the oracle matrix
+#: catches a mis-priced cost constant.  Never set it outside tests.
 _TEST_MUTATE_RIGHT_TOKEN_US = 0.0
 
 
@@ -132,21 +163,30 @@ class GreedyMappingFactory:
         return greedy_mapping(self.work_cache(cycle), self.n_procs)
 
 
-def compute_search_costs(trace: SectionTrace,
-                         costs: CostModel) -> Dict[int, Dict[int, float]]:
-    """Per-activation deletion-search surcharges (footnote 6 model).
+class _SearchCostTracker:
+    """Incremental deletion-search pricing (footnote 6 model).
 
     Bucket occupancy is tracked in causal (serial trace) order across
     the whole section — Rete memory persists between cycles — and every
     "-" activation is charged ``delete_search_us`` per entry it must
-    scan past.  Returns ``{cycle_index: {act_id: extra_us}}``; empty
-    when the cost model keeps the paper's constant-time assumption.
+    scan past.  The depth state only ever advances, so charging cycles
+    one at a time as the engine reaches them is bit-identical to the
+    old up-front whole-trace pass — and it is what lets
+    :func:`iter_cycle_results` consume streaming traces in one pass.
     """
-    if costs.delete_search_us <= 0.0:
-        return {}
-    depth: Dict[BucketKey, int] = {}
-    extra: Dict[int, Dict[int, float]] = {}
-    for cycle in trace:
+
+    __slots__ = ("rate", "depth")
+
+    def __init__(self, rate: float) -> None:
+        self.rate = rate
+        self.depth: Dict[BucketKey, int] = {}
+
+    def charge(self, cycle: CycleTrace) -> Dict[int, float]:
+        """Per-activation surcharges for *cycle*; advances the state."""
+        rate = self.rate
+        if rate <= 0.0:
+            return {}
+        depth = self.depth
         per_cycle: Dict[int, float] = {}
         for act in cycle:
             if act.kind == KIND_TERMINAL:
@@ -156,25 +196,153 @@ def compute_search_costs(trace: SectionTrace,
             else:
                 before = depth.get(act.key, 0)
                 if before > 0:
-                    per_cycle[act.act_id] = \
-                        costs.delete_search_us * before
+                    per_cycle[act.act_id] = rate * before
                     depth[act.key] = before - 1
+        return per_cycle
+
+
+def compute_search_costs(trace: SectionTrace,
+                         costs: CostModel) -> Dict[int, Dict[int, float]]:
+    """Per-activation deletion-search surcharges for a whole section.
+
+    Whole-trace wrapper over :class:`_SearchCostTracker`.  Returns
+    ``{cycle_index: {act_id: extra_us}}``; empty when the cost model
+    keeps the paper's constant-time assumption.
+    """
+    if costs.delete_search_us <= 0.0:
+        return {}
+    tracker = _SearchCostTracker(costs.delete_search_us)
+    extra: Dict[int, Dict[int, float]] = {}
+    for cycle in iter_cycles(trace):
+        per_cycle = tracker.charge(cycle)
         if per_cycle:
             extra[cycle.index] = per_cycle
     return extra
 
 
-def simulate_config(trace: SectionTrace, config: RunConfig) -> SimResult:
+def iter_cycle_results(trace, config: RunConfig
+                       ) -> Iterator[Tuple[CycleResult, int]]:
+    """Simulate *trace* one cycle at a time, yielding ``(result,
+    repeat)`` pairs.
+
+    This is the memory-bounded engine core: it accepts any trace
+    source — a :class:`~repro.trace.events.SectionTrace` or a
+    streaming source yielding :class:`~repro.trace.events.CycleTrace`
+    / :class:`~repro.trace.events.IdleRun` entries — and never holds
+    more than one cycle's result.  ``repeat`` is 1 everywhere except
+    with ``config.compress_rounds``, where a maximal run of
+    consecutive fully-idle cycles is emitted as one closed-form result
+    with ``repeat`` equal to the run length.  Sweeps that only need
+    aggregates consume this directly and discard each pair;
+    :func:`simulate_config` collects the pairs into a
+    :class:`~repro.mpc.metrics.SimResult`.
+    """
+    n_procs = config.n_procs
+    costs = config.costs
+    overheads = config.overheads
+    mapping = config.mapping
+    mapping_factory = config.mapping_factory
+    faults = config.faults
+    protocol = config.protocol
+    recorder = config.recorder
+    compress = config.compress_rounds
+    if mapping is None:
+        mapping = RoundRobinMapping(n_procs)
+
+    faulty = config.faulty
+    simulate_cycle_with_faults = None
+    record_idle_stretch = None
+    if faulty:
+        from .faults import DEFAULT_PROTOCOL, simulate_cycle_with_faults
+        if protocol is None:
+            protocol = DEFAULT_PROTOCOL
+    if recorder is not None:
+        from .timeline import _record_idle_stretch as record_idle_stretch
+        from .timeline import _simulate_cycle_recorded
+        recorder.begin_section(trace.name, n_procs, costs, overheads,
+                               faulty)
+
+    tracker = _SearchCostTracker(costs.delete_search_us)
+    idle_template: Optional[CycleResult] = None
+    pending_start = 0
+    pending_count = 0
+
+    def flush() -> Iterator[Tuple[CycleResult, int]]:
+        """Emit the pending idle stretch (if any) as one RLE pair."""
+        nonlocal pending_count, idle_template
+        if not pending_count:
+            return
+        start, count = pending_start, pending_count
+        pending_count = 0
+        if idle_template is None:
+            idle_template = _idle_cycle_result(n_procs, costs, overheads)
+        if recorder is not None:
+            record_idle_stretch(recorder, start, count, n_procs, costs,
+                                overheads)
+        yield (replace(idle_template, index=start), count)
+
+    for entry in trace:
+        is_idle_run = isinstance(entry, IdleRun)
+        if compress:
+            # Fully-idle cycles (empty trace cycles or IdleRun markers)
+            # join the pending stretch while contiguous; anything else
+            # flushes it first.
+            if is_idle_run:
+                idle_start, idle_count = entry.start_index, entry.count
+            elif not entry.activations:
+                idle_start, idle_count = entry.index, 1
+            else:
+                idle_start = None
+            if idle_start is not None:
+                if pending_count \
+                        and pending_start + pending_count == idle_start:
+                    pending_count += idle_count
+                else:
+                    yield from flush()
+                    pending_start = idle_start
+                    pending_count = idle_count
+                continue
+            yield from flush()
+        for cycle in entry.cycles() if is_idle_run else (entry,):
+            cycle_mapping = (mapping_factory(cycle) if mapping_factory
+                             else mapping)
+            if cycle_mapping.n_procs != n_procs:
+                raise ValueError("mapping_factory produced a mapping for "
+                                 f"{cycle_mapping.n_procs} processors")
+            search_costs = tracker.charge(cycle)
+            if faulty:
+                cycle_result = simulate_cycle_with_faults(
+                    cycle, n_procs, costs, overheads, cycle_mapping,
+                    faults, protocol, search_costs, recorder=recorder)
+            elif recorder is not None:
+                cycle_result = _simulate_cycle_recorded(
+                    cycle, n_procs, costs, overheads, cycle_mapping,
+                    search_costs, recorder)
+            elif compress:
+                cycle_result = _simulate_cycle_active(
+                    cycle, n_procs, costs, overheads, cycle_mapping,
+                    search_costs)
+            else:
+                cycle_result = _simulate_cycle(
+                    cycle, n_procs, costs, overheads, cycle_mapping,
+                    search_costs)
+            yield (cycle_result, 1)
+    yield from flush()
+
+
+def simulate_config(trace, config: RunConfig) -> SimResult:
     """Simulate *trace* under one :class:`~repro.mpc.config.RunConfig`.
 
     This is the engine entry point every executor backend and sweep
-    shares; :func:`simulate` is a thin compatibility wrapper around it.
+    shares; :func:`simulate` is a thin compatibility wrapper around it,
+    and :func:`iter_cycle_results` is the streaming core it collects.
 
     Parameters
     ----------
     trace:
         The section to replay (validated traces only; see
-        :func:`repro.trace.validate_trace`).
+        :func:`repro.trace.validate_trace`), or any streaming trace
+        source (see :mod:`repro.trace.events`).
     config:
         The full machine configuration.  ``config.mapping`` defaults to
         the paper's round robin; ``config.mapping_factory`` overrides
@@ -186,54 +354,23 @@ def simulate_config(trace: SectionTrace, config: RunConfig) -> SimResult:
         active and is ignored otherwise.  ``config.recorder`` routes
         every cycle through the span-recording mirror of the event loop
         (:mod:`repro.mpc.timeline`) without changing any result bit.
+        ``config.compress_rounds`` selects the active-set event loop
+        and run-length encodes idle stretches — bit-identical numbers
+        in O(active work) time; see the module docstring.
 
     Returns
     -------
-    SimResult with one :class:`CycleResult` per cycle.
+    SimResult with one :class:`CycleResult` per cycle (run-length
+    encoded when ``config.compress_rounds``; see
+    :meth:`~repro.mpc.metrics.SimResult.expanded`).
     """
-    n_procs = config.n_procs
-    costs = config.costs
-    overheads = config.overheads
-    mapping = config.mapping
-    mapping_factory = config.mapping_factory
-    faults = config.faults
-    protocol = config.protocol
-    recorder = config.recorder
-    if mapping is None:
-        mapping = RoundRobinMapping(n_procs)
-
-    faulty = config.faulty
-    if faulty:
-        from .faults import DEFAULT_PROTOCOL, simulate_cycle_with_faults
-        if protocol is None:
-            protocol = DEFAULT_PROTOCOL
-    if recorder is not None:
-        from .timeline import _simulate_cycle_recorded
-        recorder.begin_section(trace.name, n_procs, costs, overheads,
-                               faulty)
-
-    search_costs = compute_search_costs(trace, costs)
-    result = SimResult(trace_name=trace.name, n_procs=n_procs)
-    for cycle in trace:
-        cycle_mapping = (mapping_factory(cycle) if mapping_factory
-                         else mapping)
-        if cycle_mapping.n_procs != n_procs:
-            raise ValueError("mapping_factory produced a mapping for "
-                             f"{cycle_mapping.n_procs} processors")
-        if faulty:
-            cycle_result = simulate_cycle_with_faults(
-                cycle, n_procs, costs, overheads, cycle_mapping,
-                faults, protocol, search_costs.get(cycle.index, {}),
-                recorder=recorder)
-        elif recorder is not None:
-            cycle_result = _simulate_cycle_recorded(
-                cycle, n_procs, costs, overheads, cycle_mapping,
-                search_costs.get(cycle.index, {}), recorder)
-        else:
-            cycle_result = _simulate_cycle(
-                cycle, n_procs, costs, overheads, cycle_mapping,
-                search_costs.get(cycle.index, {}))
+    result = SimResult(trace_name=trace.name, n_procs=config.n_procs)
+    repeats: Optional[List[int]] = [] if config.compress_rounds else None
+    for cycle_result, repeat in iter_cycle_results(trace, config):
         result.cycles.append(cycle_result)
+        if repeats is not None:
+            repeats.append(repeat)
+    result.repeats = repeats
     return result
 
 
@@ -397,6 +534,182 @@ def _simulate_cycle(cycle: CycleTrace, n_procs: int, costs: CostModel,
                        proc_busy_us=busy,
                        proc_activations=activations,
                        proc_left_activations=left_activations,
+                       n_messages=n_messages,
+                       network_busy_us=network_busy,
+                       control_busy_us=control_busy)
+
+
+def _idle_cycle_result(n_procs: int, costs: CostModel,
+                       overheads: OverheadModel) -> CycleResult:
+    """Closed-form result of one fully-idle cycle.
+
+    An empty cycle still broadcasts the (empty) wme packet and runs the
+    constant tests everywhere, so its cost is exactly the Section 3.2
+    floor: makespan ``send + latency + recv + constant_tests``, every
+    processor busy ``recv + constant_tests``, one message (the
+    broadcast), ``latency`` of network transit and ``send`` of control
+    time.  The expressions mirror :func:`_simulate_cycle` on an empty
+    cycle operation for operation, so the template is bit-identical to
+    simulating the cycle — that is what lets round compression replace
+    a million executions of the dense loop with one of these plus a
+    repeat count.
+    """
+    send_us = overheads.send_us
+    recv_us = overheads.recv_us
+    latency_us = overheads.latency_us
+    match_start = send_us + latency_us + recv_us
+    return CycleResult(
+        index=0,
+        makespan_us=match_start + costs.constant_tests_us,
+        proc_busy_us=SparseProcArray(
+            n_procs, recv_us + costs.constant_tests_us),
+        proc_activations=SparseProcArray(n_procs, 0),
+        proc_left_activations=SparseProcArray(n_procs, 0),
+        n_messages=1,
+        network_busy_us=latency_us if n_procs > 0 else 0.0,
+        control_busy_us=send_us)
+
+
+def _simulate_cycle_active(cycle: CycleTrace, n_procs: int,
+                           costs: CostModel,
+                           overheads: OverheadModel,
+                           mapping: BucketMapping,
+                           search_costs: Optional[Dict[int, float]] = None
+                           ) -> CycleResult:
+    """O(active work) mirror of :func:`_simulate_cycle`.
+
+    Identical event processing, but per-processor state lives in dicts
+    keyed by the processors the cycle actually touches; everyone else
+    sits at the closed-form post-broadcast floor (``floor_ready`` /
+    ``floor_busy``), supplied as dict-lookup defaults and as the
+    :class:`~repro.mpc.metrics.SparseProcArray` defaults of the result.
+    Because an untouched processor's dense-loop value *is* exactly the
+    floor, and every operation on a touched processor uses the same
+    operands in the same order as the dense loop, the result is
+    bit-identical — at O(events) cost instead of O(P + events).
+    """
+    send_us = overheads.send_us
+    recv_us = overheads.recv_us
+    latency_us = overheads.latency_us
+    left_us = costs.left_token_us
+    right_us = costs.right_token_us + _TEST_MUTATE_RIGHT_TOKEN_US
+    successor_us = costs.successor_us
+    acts = cycle.activations
+    get_extra = (search_costs or {}).get
+
+    processor_for = mapping.processor_for
+    key_proc: Dict[BucketKey, int] = {}
+    dest_of: Dict[int, int] = {}
+    for act in cycle.ordered():
+        key = act.key
+        proc = key_proc.get(key)
+        if proc is None:
+            proc = key_proc[key] = processor_for(key)
+        dest_of[act.act_id] = proc
+
+    # --- step 1: broadcast -------------------------------------------------
+    control_busy = send_us
+    match_start = send_us + latency_us + recv_us
+    network_busy = latency_us if n_procs > 0 else 0.0
+    n_messages = 1  # the broadcast packet
+
+    # --- step 2: constant tests — the floor every processor starts at ------
+    floor_ready = match_start + costs.constant_tests_us
+    floor_busy = recv_us + costs.constant_tests_us
+    ready: Dict[int, float] = {}
+    busy: Dict[int, float] = {}
+    activations: Dict[int, int] = {}
+    left_activations: Dict[int, int] = {}
+    ready_get = ready.get
+    busy_get = busy.get
+    activations_get = activations.get
+    left_get = left_activations.get
+
+    seq = 0
+    queue: list = []
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    control_arrivals: List[float] = []
+    control_ready = control_busy  # control is busy until broadcast sent
+
+    def send_to_control(depart: float) -> None:
+        nonlocal control_busy, control_ready, network_busy, n_messages
+        n_messages += 1
+        network_busy += latency_us
+        arrive = depart + latency_us
+        control_ready = max(control_ready, arrive) + recv_us
+        control_busy += recv_us
+        control_arrivals.append(control_ready)
+
+    for root in cycle.roots():
+        owner = dest_of[root.act_id]
+        if root.kind == KIND_TERMINAL:
+            depart = ready_get(owner, floor_ready) + send_us
+            busy[owner] = busy_get(owner, floor_busy) + send_us
+            ready[owner] = depart
+            send_to_control(depart)
+            continue
+        seq += 1
+        heappush(queue, (ready_get(owner, floor_ready), seq, owner,
+                         False, root))
+
+    # --- steps 3-4: event loop ---------------------------------------------
+    while queue:
+        arrival, _, p, via_message, act = heappop(queue)
+        proc_ready = ready_get(p, floor_ready)
+        start = proc_ready if proc_ready > arrival else arrival
+        t = start
+        if via_message:
+            t += recv_us
+        t += left_us if act.side == LEFT else right_us
+        extra = get_extra(act.act_id)
+        if extra is not None:
+            t += extra
+        activations[p] = activations_get(p, 0) + 1
+        if act.side == LEFT:
+            left_activations[p] = left_get(p, 0) + 1
+
+        for succ_id in act.successors:
+            succ = acts[succ_id]
+            t += successor_us
+            if succ.kind == KIND_TERMINAL:
+                t += send_us
+                send_to_control(t)
+                continue
+            dest = dest_of[succ_id]
+            seq += 1
+            if dest == p:
+                heappush(queue, (t, seq, p, False, succ))
+            else:
+                t += send_us
+                heappush(queue, (t + latency_us, seq, dest, True, succ))
+
+        busy[p] = busy_get(p, floor_busy) + (t - start)
+        ready[p] = t
+
+    token_messages = 0
+    for act in cycle.ordered():
+        parent_id = act.parent_id
+        if act.kind == KIND_TERMINAL or parent_id is None:
+            continue
+        if acts[parent_id].kind == KIND_TERMINAL:
+            continue
+        if dest_of[parent_id] != dest_of[act.act_id]:
+            token_messages += 1
+    n_messages += token_messages
+    network_busy += token_messages * latency_us
+
+    # Untouched processors all sit exactly at floor_ready, so including
+    # the floor once makes this max bit-identical to the dense one.
+    makespan = max([floor_ready] + list(ready.values())
+                   + control_arrivals)
+    return CycleResult(index=cycle.index, makespan_us=makespan,
+                       proc_busy_us=SparseProcArray(
+                           n_procs, floor_busy, busy),
+                       proc_activations=SparseProcArray(
+                           n_procs, 0, activations),
+                       proc_left_activations=SparseProcArray(
+                           n_procs, 0, left_activations),
                        n_messages=n_messages,
                        network_busy_us=network_busy,
                        control_busy_us=control_busy)

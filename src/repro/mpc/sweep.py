@@ -24,7 +24,7 @@ from .faults import FaultModel, ProtocolModel
 from .mapping import BucketMapping
 from .config import RunConfig
 from .metrics import SimResult, speedup
-from .simulator import MappingFactory, simulate_base, simulate_config
+from .simulator import MappingFactory, iter_cycle_results, simulate_config
 
 #: The loss rates of the canonical degradation curve (the fault-sweep
 #: analogue of the paper's Table 5-1 overhead rows).
@@ -33,6 +33,34 @@ DEFAULT_LOSS_RATES: Tuple[float, ...] = (0.0, 1e-4, 1e-3, 1e-2)
 #: The processor counts swept in the paper's figures (Nectar scale: up
 #: to 32 processors).
 DEFAULT_PROC_COUNTS: Tuple[int, ...] = (1, 2, 4, 8, 16, 24, 32)
+
+#: Processor counts for the what-if extrapolation past Nectar scale
+#: (ROADMAP item 3) — use with ``compress_rounds=True`` and
+#: ``keep_results=False`` to stay memory-bounded.
+SCALE_PROC_COUNTS: Tuple[int, ...] = (64, 256, 1024, 4096)
+
+
+def total_time_us(trace, config: RunConfig) -> float:
+    """End-to-end match time of one run, without materializing results.
+
+    Streams :func:`~repro.mpc.simulator.iter_cycle_results` and
+    accumulates makespans in yield order — bit-identical to
+    ``simulate_config(trace, config).total_us`` (same additions in the
+    same order), at O(1) memory per point.  This is what lets sweeps
+    visit thousands of processors on million-activation traces.
+    """
+    total = 0.0
+    for result, repeat in iter_cycle_results(trace, config):
+        total += result.makespan_us if repeat == 1 \
+            else result.makespan_us * repeat
+    return total
+
+
+def _speedup_from_totals(base_total_us: float, total_us: float) -> float:
+    """Paper-style speedup from two streamed totals."""
+    if total_us <= 0:
+        raise ValueError("degenerate run with zero total time")
+    return base_total_us / total_us
 
 
 @dataclass
@@ -68,7 +96,9 @@ def speedup_curve(trace: SectionTrace,
                   mapping_factory_for: Optional[
                       Callable[[int], MappingFactory]] = None,
                   label: Optional[str] = None,
-                  workers: Optional[int] = None) -> SpeedupCurve:
+                  workers: Optional[int] = None,
+                  compress_rounds: bool = False,
+                  keep_results: bool = True) -> SpeedupCurve:
     """Speedups of *trace* across processor counts at one overhead setting.
 
     *mapping_for* builds the bucket distribution for each processor
@@ -76,8 +106,19 @@ def speedup_curve(trace: SectionTrace,
     per-cycle mapping factory (for the idealized greedy distribution).
     *workers* fans the processor counts out over worker processes
     (``1`` = serial, ``None`` = all cores); results are identical either
-    way.
+    way.  *compress_rounds* runs every point (and the base) through the
+    O(active-work) loop — numerically identical speedups.
+    ``keep_results=False`` streams each point to its total instead of
+    materializing per-cycle results (``curve.results`` stays empty) —
+    the memory-bounded mode for :data:`SCALE_PROC_COUNTS`-sized grids
+    on million-activation traces; it always evaluates in-process.
     """
+    if not keep_results:
+        return _streamed_speedup_curve(
+            trace, proc_counts, overheads=overheads, costs=costs,
+            mapping_for=mapping_for,
+            mapping_factory_for=mapping_factory_for, label=label,
+            compress_rounds=compress_rounds)
     if workers != 1:
         from .parallel import parallel_speedup_curve, resolve_workers
         if resolve_workers(workers) > 1:
@@ -85,11 +126,12 @@ def speedup_curve(trace: SectionTrace,
                 trace, proc_counts, overheads=overheads, costs=costs,
                 mapping_for=mapping_for,
                 mapping_factory_for=mapping_factory_for, label=label,
-                workers=workers)
+                workers=workers, compress_rounds=compress_rounds)
     return _serial_speedup_curve(trace, proc_counts, overheads=overheads,
                                  costs=costs, mapping_for=mapping_for,
                                  mapping_factory_for=mapping_factory_for,
-                                 label=label)
+                                 label=label,
+                                 compress_rounds=compress_rounds)
 
 
 def _serial_speedup_curve(trace: SectionTrace,
@@ -100,9 +142,12 @@ def _serial_speedup_curve(trace: SectionTrace,
                               Callable[[int], BucketMapping]] = None,
                           mapping_factory_for: Optional[
                               Callable[[int], MappingFactory]] = None,
-                          label: Optional[str] = None) -> SpeedupCurve:
+                          label: Optional[str] = None,
+                          compress_rounds: bool = False) -> SpeedupCurve:
     """The in-process sweep (the ``workers=1`` path)."""
-    base = simulate_base(trace, costs=costs)
+    base = simulate_config(trace, RunConfig(
+        n_procs=1, costs=costs, overheads=ZERO_OVERHEADS,
+        compress_rounds=compress_rounds))
     speedups: List[float] = []
     results: List[SimResult] = []
     for n_procs in proc_counts:
@@ -112,7 +157,8 @@ def _serial_speedup_curve(trace: SectionTrace,
         elif mapping_for is not None:
             kwargs["mapping"] = mapping_for(n_procs)
         result = simulate_config(trace, RunConfig(
-            n_procs=n_procs, costs=costs, overheads=overheads, **kwargs))
+            n_procs=n_procs, costs=costs, overheads=overheads,
+            compress_rounds=compress_rounds, **kwargs))
         results.append(result)
         speedups.append(speedup(base, result))
     return SpeedupCurve(label=label or f"{trace.name}@{overheads.label()}",
@@ -120,36 +166,84 @@ def _serial_speedup_curve(trace: SectionTrace,
                         results=results)
 
 
+def _streamed_speedup_curve(trace,
+                            proc_counts: Sequence[int],
+                            overheads: OverheadModel = ZERO_OVERHEADS,
+                            costs: CostModel = DEFAULT_COSTS,
+                            mapping_for: Optional[
+                                Callable[[int], BucketMapping]] = None,
+                            mapping_factory_for: Optional[
+                                Callable[[int], MappingFactory]] = None,
+                            label: Optional[str] = None,
+                            compress_rounds: bool = False) -> SpeedupCurve:
+    """The memory-bounded sweep (``keep_results=False``).
+
+    Each point streams straight to its total via :func:`total_time_us`;
+    per-cycle results are never materialized, so a 4096-processor point
+    on a million-activation trace costs O(1) result memory.  Speedups
+    are bit-identical to the materializing path.
+    """
+    base_total = total_time_us(trace, RunConfig(
+        n_procs=1, costs=costs, overheads=ZERO_OVERHEADS,
+        compress_rounds=compress_rounds))
+    speedups: List[float] = []
+    for n_procs in proc_counts:
+        kwargs = {}
+        if mapping_factory_for is not None:
+            kwargs["mapping_factory"] = mapping_factory_for(n_procs)
+        elif mapping_for is not None:
+            kwargs["mapping"] = mapping_for(n_procs)
+        total = total_time_us(trace, RunConfig(
+            n_procs=n_procs, costs=costs, overheads=overheads,
+            compress_rounds=compress_rounds, **kwargs))
+        speedups.append(_speedup_from_totals(base_total, total))
+    return SpeedupCurve(label=label or f"{trace.name}@{overheads.label()}",
+                        proc_counts=list(proc_counts), speedups=speedups)
+
+
 def overhead_sweep(trace: SectionTrace,
                    proc_counts: Sequence[int] = DEFAULT_PROC_COUNTS,
                    overhead_settings: Sequence[OverheadModel] = TABLE_5_1,
                    costs: CostModel = DEFAULT_COSTS,
-                   workers: Optional[int] = None) -> List[SpeedupCurve]:
+                   workers: Optional[int] = None,
+                   compress_rounds: bool = False,
+                   keep_results: bool = True) -> List[SpeedupCurve]:
     """The Figure 5-2 experiment: one curve per Table 5-1 setting.
 
     With ``workers`` > 1 the whole (setting x processors) grid is one
     parallel fan-out; the curves are identical to the serial result.
+    ``compress_rounds`` / ``keep_results`` behave as in
+    :func:`speedup_curve`.
     """
+    if not keep_results:
+        return [_streamed_speedup_curve(
+                    trace, proc_counts, overheads=overheads, costs=costs,
+                    label=f"{trace.name}@{overheads.label()}",
+                    compress_rounds=compress_rounds)
+                for overheads in overhead_settings]
     if workers != 1:
         from .parallel import parallel_overhead_sweep, resolve_workers
         if resolve_workers(workers) > 1:
             return parallel_overhead_sweep(trace, proc_counts,
                                            overhead_settings, costs,
-                                           workers=workers)
+                                           workers=workers,
+                                           compress_rounds=compress_rounds)
     return _serial_overhead_sweep(trace, proc_counts, overhead_settings,
-                                  costs)
+                                  costs, compress_rounds=compress_rounds)
 
 
 def _serial_overhead_sweep(trace: SectionTrace,
                            proc_counts: Sequence[int] = DEFAULT_PROC_COUNTS,
                            overhead_settings: Sequence[OverheadModel]
                            = TABLE_5_1,
-                           costs: CostModel = DEFAULT_COSTS
+                           costs: CostModel = DEFAULT_COSTS,
+                           compress_rounds: bool = False
                            ) -> List[SpeedupCurve]:
     """The in-process Figure 5-2 sweep (the ``workers=1`` path)."""
     return [_serial_speedup_curve(trace, proc_counts, overheads=overheads,
                                   costs=costs,
-                                  label=f"{trace.name}@{overheads.label()}")
+                                  label=f"{trace.name}@{overheads.label()}",
+                                  compress_rounds=compress_rounds)
             for overheads in overhead_settings]
 
 

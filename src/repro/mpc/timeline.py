@@ -128,7 +128,15 @@ class Envelope:
 
 @dataclass(slots=True)
 class CycleTimeline:
-    """Every span and envelope of one simulated cycle."""
+    """Every span and envelope of one simulated cycle.
+
+    With round compression a run of consecutive identical fully-idle
+    cycles is recorded once with ``repeat`` set to the run length: the
+    spans describe the first cycle of the stretch (``index``), and the
+    section-level accountings (:attr:`Timeline.total_us`,
+    :meth:`Timeline.cycle_offsets_us`) scale by ``repeat`` — exact,
+    since every makespan is a multiple of 0.5 µs.
+    """
 
     index: int
     n_procs: int
@@ -136,6 +144,8 @@ class CycleTimeline:
     proc_busy_us: List[float]
     spans: List[Span]
     envelopes: List[Envelope]
+    #: How many consecutive identical cycles this entry stands for.
+    repeat: int = 1
 
     def spans_for(self, proc: int) -> List[Span]:
         return [s for s in self.spans if s.proc == proc]
@@ -223,15 +233,22 @@ class Timeline:
 
     @property
     def total_us(self) -> float:
-        return sum(c.makespan_us for c in self.cycles)
+        # ``m * 1 == m`` bit-for-bit, so this matches the pre-repeat
+        # accounting exactly on uncompressed timelines.
+        return sum(c.makespan_us * c.repeat for c in self.cycles)
+
+    def n_cycles(self) -> int:
+        """Number of simulated cycles (compressed runs counted in full)."""
+        return sum(c.repeat for c in self.cycles)
 
     def cycle_offsets_us(self) -> List[float]:
-        """Absolute start time of each cycle (cycles are serialized)."""
+        """Absolute start time of each recorded entry (cycles are
+        serialized; a compressed entry advances by ``repeat`` cycles)."""
         offsets = []
         t = 0.0
         for cycle in self.cycles:
             offsets.append(t)
-            t += cycle.makespan_us
+            t += cycle.makespan_us * cycle.repeat
         return offsets
 
     def longest_cycle(self) -> CycleTimeline:
@@ -437,6 +454,36 @@ def _simulate_cycle_recorded(cycle: CycleTrace, n_procs: int,
                        control_busy_us=control_busy)
 
 
+def _record_idle_stretch(recorder: TimelineRecorder, start_index: int,
+                         count: int, n_procs: int, costs: CostModel,
+                         overheads: OverheadModel) -> None:
+    """Record *count* consecutive fully-idle cycles as one entry.
+
+    The spans are exactly what :func:`_simulate_cycle_recorded` emits
+    for one empty cycle — broadcast, transit, per-processor receive and
+    constant tests — stored once with ``repeat=count``, so a
+    million-cycle idle stretch costs one :class:`CycleTimeline`.
+    :meth:`CycleTimeline.reconcile` against the compressed run's
+    template result holds bit-exactly.
+    """
+    send_us = overheads.send_us
+    recv_us = overheads.recv_us
+    latency_us = overheads.latency_us
+    match_start = send_us + latency_us + recv_us
+    makespan = match_start + costs.constant_tests_us
+    spans: List[Span] = [Span(CAT_BROADCAST, CONTROL, 0.0, send_us)]
+    if n_procs > 0:
+        spans.append(Span(CAT_TRANSIT, NETWORK, send_us,
+                          send_us + latency_us))
+    for p in range(n_procs):
+        spans.append(Span(CAT_RECV, p, send_us + latency_us, match_start))
+        spans.append(Span(CAT_CONSTANT_TESTS, p, match_start, makespan))
+    recorder.add_cycle(CycleTimeline(
+        index=start_index, n_procs=n_procs, makespan_us=makespan,
+        proc_busy_us=[recv_us + costs.constant_tests_us] * n_procs,
+        spans=spans, envelopes=[], repeat=count))
+
+
 # ---------------------------------------------------------------------------
 # Exports: Chrome trace-event JSON, JSONL spans, ASCII Gantt.
 # ---------------------------------------------------------------------------
@@ -477,12 +524,20 @@ def chrome_trace(timeline: Timeline) -> Dict[str, object]:
                        "tid": tid, "args": {"name": _thread_name(proc)}})
     for offset, cycle in zip(timeline.cycle_offsets_us(),
                              timeline.cycles):
+        if cycle.repeat == 1:
+            name = f"cycle {cycle.index}"
+        else:
+            name = (f"cycles {cycle.index}-"
+                    f"{cycle.index + cycle.repeat - 1} (idle x"
+                    f"{cycle.repeat})")
+        cycle_args: Dict[str, object] = {"cycle": cycle.index,
+                                         "makespan_us": cycle.makespan_us}
+        if cycle.repeat != 1:
+            cycle_args["repeat"] = cycle.repeat
         events.append({
-            "name": f"cycle {cycle.index}", "cat": "cycle", "ph": "X",
-            "ts": offset, "dur": cycle.makespan_us, "pid": 0,
-            "tid": tids[CONTROL],
-            "args": {"cycle": cycle.index,
-                     "makespan_us": cycle.makespan_us}})
+            "name": name, "cat": "cycle", "ph": "X",
+            "ts": offset, "dur": cycle.makespan_us * cycle.repeat,
+            "pid": 0, "tid": tids[CONTROL], "args": cycle_args})
         for span in cycle.spans:
             args: Dict[str, object] = {"cycle": cycle.index}
             if span.act_id >= 0:
@@ -514,7 +569,7 @@ def timeline_jsonl(timeline: Timeline) -> Iterator[str]:
     for offset, cycle in zip(timeline.cycle_offsets_us(),
                              timeline.cycles):
         for span in cycle.spans:
-            yield json.dumps({
+            record = {
                 "trace": timeline.trace_name,
                 "cycle": cycle.index,
                 "proc": _thread_name(span.proc),
@@ -523,7 +578,10 @@ def timeline_jsonl(timeline: Timeline) -> Iterator[str]:
                 "end_us": offset + span.end_us,
                 "act_id": span.act_id if span.act_id >= 0 else None,
                 "busy": span.is_busy,
-            }, separators=(",", ":"))
+            }
+            if cycle.repeat != 1:
+                record["repeat"] = cycle.repeat
+            yield json.dumps(record, separators=(",", ":"))
 
 
 def write_timeline_jsonl(timeline: Timeline, stream: IO[str]) -> int:
@@ -585,7 +643,9 @@ def gantt(cycle: CycleTimeline, width: int = 64,
             for i in range(max(0, first), min(width, last)):
                 grid[i] = glyph
     label_w = max(len(_thread_name(p)) for p in rows)
-    lines = [f"cycle {cycle.index}: makespan "
+    stretch = "" if cycle.repeat == 1 else \
+        f" (x{cycle.repeat} idle cycles)"
+    lines = [f"cycle {cycle.index}{stretch}: makespan "
              f"{makespan / 1000:.3f} ms, {width} cols of "
              f"{makespan / width:.1f} us"]
     for proc in rows:

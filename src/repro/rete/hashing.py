@@ -11,6 +11,7 @@ canonical byte encoding instead.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Tuple
@@ -22,6 +23,18 @@ _FNV_PRIME = 0x100000001B3
 _MASK64 = (1 << 64) - 1
 
 
+def intern_value(value: Value) -> Value:
+    """Intern string values; pass everything else through.
+
+    Symbols recur massively across a trace — a million-activation
+    section mentions a few hundred distinct attribute values — so
+    interning makes every repeated symbol one shared object: equality
+    short-circuits on identity and the per-copy memory goes away.
+    Only exact ``str`` is interned (subclasses keep their type).
+    """
+    return sys.intern(value) if type(value) is str else value
+
+
 @dataclass(frozen=True, order=True)
 class BucketKey:
     """Identity of one hash bucket in the global left/right tables.
@@ -30,10 +43,21 @@ class BucketKey:
     values share a bucket — that is precisely the paper's "tokens flowing
     into a two-input node with the same values bound to the variables
     hash to the same index".
+
+    String values are interned on construction (see
+    :func:`intern_value`): bucket keys are compared and hashed on every
+    routing decision, and interned symbols make those comparisons
+    pointer checks.
     """
 
     node_id: int
     values: Tuple[Value, ...] = ()
+
+    def __post_init__(self) -> None:
+        if any(type(v) is str for v in self.values):
+            object.__setattr__(
+                self, "values",
+                tuple(intern_value(v) for v in self.values))
 
     def __str__(self) -> str:
         vals = ",".join(_canonical(v) for v in self.values)

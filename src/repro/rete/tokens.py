@@ -14,11 +14,13 @@ lets a minus token find and delete its stored plus twin.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Dict, Mapping, Tuple
 
 from ..ops5.values import Value
 from ..ops5.wme import WME
+from .hashing import intern_value
 
 #: Token tags, as in the paper: "+" add, "-" delete.
 PLUS = "+"
@@ -66,11 +68,19 @@ class Token:
 
     def extend(self, wme: WME,
                new_bindings: Mapping[str, Value]) -> "Token":
-        """Return this token extended by *wme* and its fresh bindings."""
+        """Return this token extended by *wme* and its fresh bindings.
+
+        Binding names and string values are interned (see
+        :func:`repro.rete.hashing.intern_value`): every join compares
+        binding tuples, and a long run binds the same few symbols over
+        and over.
+        """
         if not new_bindings:
             merged = self.bindings
         else:
             merged = tuple(sorted(
+                (sys.intern(name), intern_value(value))
+                for name, value in
                 {**dict(self.bindings), **new_bindings}.items()))
         return Token(wmes=self.wmes + (wme,), bindings=merged)
 

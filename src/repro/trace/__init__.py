@@ -15,11 +15,11 @@ from .cache import (cache_dir, cache_enabled, cache_stats, cached_trace,
                     module_source, set_cache_enabled, source_fingerprint,
                     trace_key)
 from .events import (KIND_JOIN, KIND_NEGATIVE, KIND_TERMINAL, LEFT, RIGHT,
-                     ActivationStats, CycleTrace, SectionTrace,
-                     TraceActivation)
-from .format import (TRACE_FORMAT_VERSION, TraceFormatError, dump_trace,
-                     dumps_trace, load_trace, loads_trace, read_trace,
-                     save_trace)
+                     ActivationStats, CycleTrace, IdleRun, SectionTrace,
+                     TraceActivation, TraceEntry, iter_cycles, materialize)
+from .format import (TRACE_FORMAT_VERSION, FileTraceStream, TraceFormatError,
+                     dump_entries, dump_trace, dumps_trace, load_trace,
+                     loads_trace, read_trace, save_entries, save_trace)
 from .recorder import TraceRecorder, record_program
 from .transform import (copy_and_constraint_trace, insert_dummy_nodes,
                         unshare_trace)
@@ -27,9 +27,11 @@ from .validate import TraceValidationError, validate_cycle, validate_trace
 
 __all__ = [
     "KIND_JOIN", "KIND_NEGATIVE", "KIND_TERMINAL", "LEFT", "RIGHT",
-    "ActivationStats", "CycleTrace", "SectionTrace", "TraceActivation",
-    "TRACE_FORMAT_VERSION", "TraceFormatError", "dump_trace",
-    "dumps_trace", "load_trace", "loads_trace", "read_trace", "save_trace",
+    "ActivationStats", "CycleTrace", "IdleRun", "SectionTrace",
+    "TraceActivation", "TraceEntry", "iter_cycles", "materialize",
+    "TRACE_FORMAT_VERSION", "FileTraceStream", "TraceFormatError",
+    "dump_entries", "dump_trace", "dumps_trace", "load_trace",
+    "loads_trace", "read_trace", "save_entries", "save_trace",
     "cache_dir", "cache_enabled", "cache_stats", "cached_trace",
     "clear_cache", "format_cache_stats", "invalidate", "module_source",
     "set_cache_enabled", "source_fingerprint", "trace_key",

@@ -7,12 +7,27 @@ activations it generated.  The paper's simulator consumes exactly this —
 "a detailed trace of the activity of the hash-table used for the Rete
 network" — and so does ours, which is what makes recorded and synthetic
 traces interchangeable.
+
+Streaming traces
+----------------
+The simulator does not actually need a materialized
+:class:`SectionTrace`: any object with a ``name`` attribute, a
+``total_activations()`` method and an ``__iter__`` yielding *trace
+entries* — :class:`CycleTrace` objects or :class:`IdleRun` markers —
+works, and must be **re-iterable** (every ``__iter__`` call starts a
+fresh pass) so sweeps can replay it per grid point.  That is what lets
+synthetic workloads with 10⁶+ activations flow through the engine
+without ever existing in memory at once (see
+:class:`repro.workloads.synthetic.SyntheticStream` and
+:class:`repro.trace.format.FileTraceStream`).  :func:`iter_cycles`
+expands entries into plain cycles for consumers that need the exact
+per-cycle view.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..rete.hashing import BucketKey
 
@@ -133,6 +148,63 @@ class CycleTrace:
 
     def max_act_id(self) -> int:
         return max(self.activations, default=0)
+
+
+@dataclass(slots=True, frozen=True)
+class IdleRun:
+    """A run of *count* consecutive fully-idle (empty) cycles.
+
+    Streaming trace sources yield one of these instead of *count* empty
+    :class:`CycleTrace` objects, so an idle stretch costs O(1) to
+    generate, serialize and (with round compression) simulate.  The
+    cycles it stands for have indices ``start_index .. start_index +
+    count - 1`` and no activations.
+    """
+
+    start_index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("idle run needs at least one cycle")
+
+    @property
+    def end_index(self) -> int:
+        """Index one past the last idle cycle."""
+        return self.start_index + self.count
+
+    def cycles(self) -> Iterator["CycleTrace"]:
+        """The empty cycles this marker stands for, materialized."""
+        for j in range(self.count):
+            yield CycleTrace(index=self.start_index + j)
+
+
+#: What a trace source yields per iteration step.
+TraceEntry = Union["CycleTrace", IdleRun]
+
+
+def iter_cycles(entries: Iterable[TraceEntry]) -> Iterator["CycleTrace"]:
+    """Expand a trace-entry stream into plain cycles.
+
+    :class:`IdleRun` markers become their empty cycles; everything else
+    passes through.  This is the exact per-cycle view — the reference
+    loop and validators consume it.
+    """
+    for entry in entries:
+        if isinstance(entry, IdleRun):
+            yield from entry.cycles()
+        else:
+            yield entry
+
+
+def materialize(source) -> "SectionTrace":
+    """Collect any trace source (stream or section) into a
+    :class:`SectionTrace`.  Already-materialized sections pass through
+    unchanged."""
+    if isinstance(source, SectionTrace):
+        return source
+    return SectionTrace(name=getattr(source, "name", "stream"),
+                        cycles=list(iter_cycles(source)))
 
 
 @dataclass(slots=True)

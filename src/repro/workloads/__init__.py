@@ -5,10 +5,12 @@ exercise the full OPS5 → Rete → trace → simulator pipeline.
 
 from .generator import SectionSpec, generate_section
 from .rubik import rubik_section
+from .synthetic import StreamSpec, SyntheticStream
 from .tourney import tourney_section
 from .weaver import weaver_section
 
-__all__ = ["SectionSpec", "generate_section",
+__all__ = ["SectionSpec", "StreamSpec", "SyntheticStream",
+           "generate_section",
            "rubik_section", "tourney_section", "weaver_section",
            "all_sections"]
 

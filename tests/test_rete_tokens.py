@@ -55,6 +55,33 @@ class TestToken:
         t = make_unit_token(w(1), {"x": 1, "a": 2})
         assert t.bindings_dict() == {"x": 1, "a": 2}
 
+    def test_extend_interns_symbols(self):
+        # Binding names and string values are interned so repeated
+        # symbols share one object across tokens.
+        value = "".join(["sy", "mbol-", "runtime"])  # defeat literal pool
+        a = make_unit_token(w(1), {"x": value})
+        b = make_unit_token(w(2), {"x": "".join(["sy", "mbol-",
+                                                 "runtime"])})
+        assert a.bindings[0][1] is b.bindings[0][1]
+        assert a.bindings[0][0] is b.bindings[0][0]
+
+    def test_extend_interning_skips_non_strings(self):
+        class Sym(str):
+            pass
+        t = make_unit_token(w(1), {"x": Sym("keep-type"), "y": 3})
+        assert type(t.binding("x")) is Sym
+        assert t.binding("y") == 3
+
+
+class TestBucketKeyInterning:
+    def test_values_interned_on_construction(self):
+        value = "".join(["bu", "cket-", "symbol"])
+        a = BucketKey(1, (value, 7))
+        b = BucketKey(1, ("".join(["bu", "cket-", "symbol"]), 7))
+        assert a == b
+        assert a.values[0] is b.values[0]
+        assert a.values[1] == 7
+
 
 class TestStableHash:
     def test_deterministic(self):
