@@ -12,6 +12,11 @@ paths that are documented to produce *identical* results.  The pairs:
     analytic idle-round compression — expanded back to per-cycle form
     against the reference loop: every counter bitwise identical, every
     makespan bit-identical (far inside the documented 1e-12 budget).
+``compressed_vs_exact_faults``
+    The compressed loop with a per-case drawn :class:`FaultModel`
+    (loss, duplicates, jitter, stall windows, fail-stops) against the
+    exact faulty loop: fault draws are keyed to absolute cycle
+    indices, so idle-round compression may not move a single fault.
 ``fault_null_dispatch``
     ``RunConfig(faults=<null FaultModel>)`` must dispatch onto the exact
     fault-free path: bit-identical results, fault counters included.
@@ -33,6 +38,14 @@ paths that are documented to produce *identical* results.  The pairs:
     live run and model time on the simulated one, so they are reported
     but never compared.  Declares ``every=5`` (an event loop per case
     is not free).
+``live_recovery``
+    Supervised actors under a per-case drawn
+    :class:`~repro.exec.chaos.ChaosPolicy` (kills, message drops,
+    duplicates, delays, stalls): the run must either recover to a
+    match signature bit-identical to the simulator's or raise a typed
+    :class:`~repro.exec.errors.ExecutorError` — never wedge, never
+    return silently-wrong counters.  The zero-chaos supervised run
+    must equal the unsupervised one.  Declares ``every=10``.
 ``parallel_vs_serial``
     :func:`repro.mpc.parallel.run_grid` with worker processes returns
     the same results as the serial path.  Worker pools are expensive,
@@ -62,9 +75,11 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ..mpc import (DEFAULT_COSTS, TABLE_5_1, ZERO_OVERHEADS, FaultModel,
-                   RunConfig, simulate, simulate_config)
+                   RunConfig, SupervisePolicy, simulate,
+                   simulate_config)
 from ..mpc._reference import simulate_reference
-from ..mpc.faults import DEFAULT_PROTOCOL, simulate_cycle_with_faults
+from ..mpc.faults import (DEFAULT_PROTOCOL, FailStop, StallWindow,
+                          simulate_cycle_with_faults)
 from ..mpc.mapping import RoundRobinMapping
 from ..mpc.parallel import ENV_FORCE_POOL, GridPoint, run_grid
 from ..mpc.simulator import compute_search_costs
@@ -164,6 +179,54 @@ def compressed_vs_exact(case: TraceCase) -> Optional[str]:
     return None
 
 
+def compressed_vs_exact_faults(case: TraceCase) -> Optional[str]:
+    """Round compression composes with fault injection bitwise.
+
+    Fault draws are keyed to absolute cycle indices, so collapsing a
+    fully-idle stretch analytically must not shift any fault onto a
+    different cycle: the compressed faulty run, expanded back to
+    per-cycle form, is bit-identical to the exact faulty loop.
+    """
+    rng = _draws(case, "compressed_vs_exact_faults")
+    n_procs = rng.choice(_PROC_CHOICES)
+    overheads = rng.choice((ZERO_OVERHEADS,) + TABLE_5_1)
+    indices = [c.index for c in case.trace.cycles]
+    stalls: Tuple = ()
+    failures: Tuple = ()
+    if indices and rng.random() < 0.5:
+        start = rng.uniform(0.0, 50.0)
+        stalls = (StallWindow(
+            proc=rng.randrange(n_procs), start_us=start,
+            end_us=start + rng.uniform(0.0, 200.0),
+            cycle=rng.choice(indices + [None])),)
+    if indices and rng.random() < 0.3:
+        failures = (FailStop(proc=rng.randrange(n_procs),
+                             cycle=rng.choice(indices),
+                             recovery_us=rng.uniform(100.0, 5000.0)),)
+    model = FaultModel(seed=case.seed ^ case.index,
+                       loss_prob=rng.choice((0.0, 0.01, 0.05)),
+                       dup_prob=rng.choice((0.0, 0.01, 0.05)),
+                       jitter_us=rng.choice((0.0, 25.0, 100.0)),
+                       stalls=stalls, failures=failures)
+    exact = simulate_config(case.trace, RunConfig(
+        n_procs=n_procs, overheads=overheads, faults=model))
+    compressed = simulate_config(case.trace, RunConfig(
+        n_procs=n_procs, overheads=overheads, faults=model,
+        compress_rounds=True))
+    diff = _diff_results(compressed.expanded(), exact)
+    if diff:
+        return f"compressed faulty run != exact at P={n_procs}, " \
+               f"overheads={overheads.label()}: {diff}"
+    if compressed.total_us != exact.total_us:
+        return (f"compressed faulty total_us {compressed.total_us!r} "
+                f"!= exact {exact.total_us!r} at P={n_procs}")
+    if compressed.n_messages != exact.n_messages:
+        return (f"compressed faulty n_messages "
+                f"{compressed.n_messages} != exact "
+                f"{exact.n_messages} at P={n_procs}")
+    return None
+
+
 def fault_null_dispatch(case: TraceCase) -> Optional[str]:
     n_procs, overheads = _pick_config(case, "fault_null_dispatch")
     null = FaultModel(seed=case.seed)
@@ -254,6 +317,65 @@ def actors_vs_sim(case: TraceCase) -> Optional[str]:
     return None
 
 
+def live_recovery(case: TraceCase) -> Optional[str]:
+    """Supervised actors under seeded chaos: recover or fail loudly.
+
+    Draws a chaos policy per case (kill / drop / duplicate / delay /
+    stall, or a mix), runs the asyncio actors under supervision, and
+    requires one of exactly two outcomes: a match signature
+    bit-identical to the simulator's, or a typed
+    :class:`~repro.exec.errors.ExecutorError`.  A hang is converted to
+    :class:`~repro.exec.errors.ExecutorWedged` by the per-cycle
+    deadline, so every failure mode is observable.  Also proves the
+    zero-chaos supervised run is signature-identical to the
+    unsupervised one (supervision must be invisible when nothing
+    fails).
+    """
+    from ..exec import (ChaosPolicy, ExecutorError, match_signature,
+                        run)
+    rng = _draws(case, "live_recovery")
+    n_procs = rng.choice((2, 3, 4, 8))
+    overheads = rng.choice((ZERO_OVERHEADS,) + TABLE_5_1)
+    policy = SupervisePolicy(heartbeat_s=0.02, cycle_timeout_s=5.0,
+                             max_restarts=3, restart_delay_s=0.0)
+    config = RunConfig(n_procs=n_procs, overheads=overheads,
+                       supervise=policy)
+    sim_sig = match_signature(run(case.trace, config, backend="sim"))
+
+    quiet = run(case.trace, config, backend="actors")
+    if match_signature(quiet) != sim_sig:
+        return (f"zero-chaos supervised run diverged from the "
+                f"simulator at P={n_procs}, "
+                f"overheads={overheads.label()}")
+
+    indices = [c.index for c in case.trace.cycles]
+    kills = ()
+    if indices and rng.random() < 0.5:
+        kills = ((rng.choice(indices), rng.randrange(n_procs)),)
+    kind = rng.choice(("drop", "dup", "delay", "stall", "mix"))
+    prob = rng.choice((0.005, 0.01, 0.02))
+    chaos = ChaosPolicy(
+        seed=(case.seed << 16) ^ case.index,
+        kills=kills,
+        drop_prob=prob if kind in ("drop", "mix") else 0.0,
+        dup_prob=prob if kind in ("dup", "mix") else 0.0,
+        delay_prob=prob if kind in ("delay", "mix") else 0.0,
+        delay_s=0.002,
+        stall_prob=prob if kind in ("stall", "mix") else 0.0,
+        stall_s=0.01)
+    try:
+        chaotic = run(case.trace, config, backend="actors",
+                      chaos=chaos)
+    except ExecutorError:
+        return None  # typed and actionable — the conforming failure
+    if match_signature(chaotic) != sim_sig:
+        return (f"SILENT DIVERGENCE under chaos ({kind}, p={prob}, "
+                f"kills={kills}) at P={n_procs}, "
+                f"overheads={overheads.label()}: run succeeded with "
+                f"wrong counters")
+    return None
+
+
 def cache_round_trip(case: TraceCase) -> Optional[str]:
     if not trace_cache.cache_enabled():
         return None  # nothing to check when the cache is off
@@ -325,22 +447,28 @@ def rete_vs_naive(case: ProgramCase) -> Optional[str]:
 ORACLES: Tuple[Oracle, ...] = (
     Oracle("opt_vs_reference", "trace", opt_vs_reference),
     Oracle("compressed_vs_exact", "trace", compressed_vs_exact),
+    Oracle("compressed_vs_exact_faults", "trace",
+           compressed_vs_exact_faults),
     Oracle("fault_null_dispatch", "trace", fault_null_dispatch),
     Oracle("protocol_zero_fault", "trace", protocol_zero_fault),
     Oracle("recorder_invisible", "trace", recorder_invisible),
     Oracle("actors_vs_sim", "trace", actors_vs_sim, every=5),
+    Oracle("live_recovery", "trace", live_recovery, every=10),
     Oracle("cache_round_trip", "trace", cache_round_trip),
     Oracle("parallel_vs_serial", "trace", parallel_vs_serial, every=25),
     Oracle("rete_vs_naive", "program", rete_vs_naive),
 )
 
 
-def run_oracles(case: CheckCase, *,
-                sample: bool = True) -> List[Tuple[str, str]]:
+def run_oracles(case: CheckCase, *, sample: bool = True,
+                only: Optional[Tuple[str, ...]] = None
+                ) -> List[Tuple[str, str]]:
     """All oracle failures for *case* as ``(oracle_name, detail)``.
 
     With ``sample=False`` the ``every`` throttles are ignored — the
     shrinker uses that to re-check a sampled oracle on every candidate.
+    *only* restricts the run to the named oracles; an explicitly named
+    oracle runs on every eligible case, ``every`` notwithstanding.
     """
     kind = "program" if isinstance(case, ProgramCase) else "trace"
     failures: List[Tuple[str, str]] = []
@@ -348,7 +476,10 @@ def run_oracles(case: CheckCase, *,
     for oracle in ORACLES:
         if oracle.kind != kind:
             continue
-        if sample and oracle.every > 1 \
+        if only is not None:
+            if oracle.name not in only:
+                continue
+        elif sample and oracle.every > 1 \
                 and case.index % oracle.every != 0:
             continue
         registry.counter("check.oracle_runs").inc()

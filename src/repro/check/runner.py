@@ -82,10 +82,18 @@ class CheckReport:
         }
 
 
-def _check_case(case: CheckCase) -> List[Tuple[str, str]]:
-    failures = list(run_oracles(case))
+def _check_case(case: CheckCase,
+                only: Optional[Tuple[str, ...]] = None
+                ) -> List[Tuple[str, str]]:
+    failures = list(run_oracles(case, only=only))
     if isinstance(case, TraceCase):
-        failures.extend(run_invariants(case))
+        if only is None:
+            failures.extend(run_invariants(case))
+        else:
+            failures.extend(
+                (name, detail)
+                for name, detail in run_invariants(case)
+                if name in only)
     return failures
 
 
@@ -159,20 +167,32 @@ def _write_repro(failure: CheckFailure, out_dir: str) -> str:
 def run_check(seed: int = 0, budget: int = DEFAULT_BUDGET, *,
               out_dir: Optional[str] = None,
               shrink_evals: int = 400,
+              only: Optional[Tuple[str, ...]] = None,
               progress=None) -> CheckReport:
     """Run the whole matrix over *budget* cases from *seed*.
 
     *progress*, when given, is called as ``progress(case, failures)``
     after each case (the CLI uses it for verbose logging).  Failing
     cases are shrunk and, when *out_dir* is set, written there as JSON.
+    *only* restricts the run to the named oracles/invariants (the CI
+    chaos leg uses ``only=("live_recovery",)``); unknown names raise
+    ``ValueError`` so a typo cannot silently check nothing.
     """
+    if only is not None:
+        known = ({o.name for o in ORACLES}
+                 | {i.name for i in INVARIANTS})
+        unknown = sorted(set(only) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown check name(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(sorted(known))}")
     registry = get_registry()
     report = CheckReport(seed=seed, budget=budget)
     started = time.perf_counter()
     for case in generate_cases(seed, budget):
         registry.counter("check.cases").inc()
         report.cases_run += 1
-        checks = _check_case(case)
+        checks = _check_case(case, only)
         if progress is not None:
             progress(case, checks)
         if not checks:

@@ -436,9 +436,16 @@ def cmd_check(args) -> int:
             print(f"ok case {case.index} ({case.family})",
                   file=sys.stderr)
 
+    only = tuple(name for name in (args.only or "").split(",")
+                 if name) or None
+
     def run():
-        return run_check(seed=args.seed, budget=args.budget,
-                         out_dir=args.out, progress=progress)
+        try:
+            return run_check(seed=args.seed, budget=args.budget,
+                             out_dir=args.out, only=only,
+                             progress=progress)
+        except ValueError as err:
+            raise CLIError(str(err)) from err
 
     if args.mutate:
         # Deliberately mis-price the optimized loop: a harness that
@@ -487,14 +494,52 @@ def _run_ops5(args) -> int:
     return 0
 
 
+#: The ``repro run --chaos`` preset: actor kills and stalls (per
+#: actor-cycle, cheap to recover, detected immediately) plus message
+#: delays (harmless to counting).  Per-message drop/duplicate faults
+#: are deliberately absent: a real section pushes thousands of data
+#: messages per cycle, so any per-message corruption rate makes a
+#: clean replay attempt improbable within the restart budget — those
+#: faults are exercised by ``repro check --only live_recovery`` and
+#: the chaos test suite on small generated traces instead.
+_CHAOS_PRESET = dict(kill_prob=0.05, delay_prob=0.01, delay_s=0.002,
+                     stall_prob=0.05, stall_s=0.01)
+
+
+def _chaos_policy(args):
+    """The ChaosPolicy requested by ``--chaos``/``--chaos-seed``."""
+    if not (getattr(args, "chaos", False)
+            or getattr(args, "chaos_seed", None) is not None):
+        return None
+    if args.backend != "actors":
+        raise CLIError("--chaos applies to the actors backend only "
+                       "(use --backend actors)")
+    from .exec import ChaosPolicy
+    seed = args.chaos_seed if args.chaos_seed is not None else 0
+    return ChaosPolicy(seed=seed, **_CHAOS_PRESET)
+
+
 def _run_backend(args) -> int:
     """Run a section on one executor backend (``--backend``)."""
-    from .exec import get_executor, match_signature
+    from .exec import ExecutorError, get_executor, match_signature
     from .exec import run as exec_run
     config = _run_config(args, n_procs=args.procs)
     if config.compress_rounds and args.backend != "sim":
         raise CLIError("--compress-rounds applies to the sim backend "
                        "only (live backends execute every cycle)")
+    if config.supervise is not None and args.backend == "sim":
+        raise CLIError("--supervise applies to the live backends only "
+                       "(the simulator has nothing to supervise)")
+    chaos = _chaos_policy(args)
+    if chaos is not None:
+        # Bound the per-cycle deadline so an injected wedge surfaces
+        # in seconds, not the full REPRO_EXEC_TIMEOUT_S.
+        import dataclasses as _dc
+        from .mpc import SupervisePolicy
+        policy = config.supervise or SupervisePolicy()
+        if policy.cycle_timeout_s is None:
+            policy = _dc.replace(policy, cycle_timeout_s=30.0)
+        config = config.replace(supervise=policy)
     trace = _load_trace(args)
     try:
         if args.backend == "served":
@@ -513,9 +558,13 @@ def _run_backend(args) -> int:
                                "input — session isolation is broken")
         elif args.backend == "actors":
             outcome = exec_run(trace, config, backend="actors",
-                               transport=args.transport)
+                               transport=args.transport, chaos=chaos)
         else:
             outcome = exec_run(trace, config, backend="sim")
+    except ExecutorError as err:
+        # Typed, actionable: the run failed loudly rather than wedging
+        # or returning silently-wrong counters.
+        raise CLIError(f"{type(err).__name__}: {err}") from err
     except ValueError as err:
         raise CLIError(str(err)) from err
     live = args.backend != "sim"
@@ -540,6 +589,10 @@ def _run_backend(args) -> int:
             "wall_s": outcome.wall_s,
             "matches_simulator": True if live else None,
         }
+        if config.supervise is not None:
+            payload["supervised"] = True
+        if chaos is not None:
+            payload["chaos_seed"] = chaos.seed
         if args.backend == "served":
             payload["sessions"] = args.sessions
         if args.backend == "sim":
@@ -561,6 +614,12 @@ def _run_backend(args) -> int:
                  f" ({args.sessions} concurrent sessions, "
                  f"all identical)"))
         print("  match results and fire sequence match the simulator")
+        if chaos is not None:
+            print(f"  recovered from seeded chaos (seed {chaos.seed}) "
+                  f"bit-identically")
+        elif config.supervise is not None:
+            print("  supervised: heartbeats, deadlines, "
+                  "checkpoint-replay restarts")
     return 0
 
 
@@ -620,7 +679,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--compress-rounds", action="store_true",
         help="collapse fully-idle cycle stretches analytically "
              "(bit-identical results, O(active work) runtime; "
-             "incompatible with fault injection)")
+             "composes with fault injection — fault draws are keyed "
+             "to absolute cycle indices)")
 
     def source_parent(default_section: str) -> argparse.ArgumentParser:
         src = argparse.ArgumentParser(add_help=False)
@@ -807,6 +867,20 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="N",
                    help="served backend: concurrent sessions to run "
                         "(default 4)")
+    p.add_argument("--supervise", action="store_true",
+                   help="live backends: wrap the run in the "
+                        "supervision layer (heartbeat liveness checks, "
+                        "per-cycle deadlines, checkpoint-replay "
+                        "restarts); results stay bit-identical to the "
+                        "unsupervised run")
+    p.add_argument("--chaos", action="store_true",
+                   help="actors backend: inject a light deterministic "
+                        "chaos mix (message drop/duplicate/delay, "
+                        "actor stalls and kills) and recover through "
+                        "supervision; implies --supervise")
+    p.add_argument("--chaos-seed", type=int, default=None, metavar="N",
+                   help="seed of the deterministic chaos policy "
+                        "(implies --chaos; same seed, same faults)")
     p.add_argument("--max-cycles", type=int, default=10_000)
     p.add_argument("--verbose", action="store_true",
                    help="list every production firing (OPS5 mode)")
@@ -827,6 +901,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="number of generated cases (default 200)")
     p.add_argument("--out", default=None, metavar="DIR",
                    help="write minimal-repro JSON files here on failure")
+    p.add_argument("--only", default=None, metavar="NAMES",
+                   help="run only the named oracles/invariants "
+                        "(comma-separated, e.g. live_recovery); named "
+                        "checks run on every eligible case, sampling "
+                        "throttles notwithstanding")
     p.add_argument("--mutate", type=float, default=0.0,
                    metavar="US", help=argparse.SUPPRESS)
     p.set_defaults(fn=cmd_check)

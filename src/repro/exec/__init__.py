@@ -19,14 +19,20 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..mpc.config import RunConfig
+from ..mpc.config import RunConfig, SupervisePolicy
 from ..trace.events import SectionTrace
 from .actors import ActorExecutor, run_section_async
 from .base import (Executor, RunHandle, RunResult, match_signature)
+from .chaos import NULL_CHAOS, ChaosPolicy
+from .errors import (ENV_TIMEOUT, ExecutorCrashed, ExecutorError,
+                     ExecutorWedged, ProtocolViolation,
+                     RestartsExhausted, SessionOverloaded,
+                     exec_timeout_s)
 from .plan import (CONTROL, ActorCyclePlan, CyclePlan, MatchActorCore,
                    build_plans, expected_fires)
 from .served import SessionServer, ServedExecutor
 from .sim import SimExecutor
+from .supervise import run_supervised_async, run_supervised_mp
 
 #: Backend registry: name -> executor class.  ``get_executor`` builds a
 #: fresh instance per call; backend-specific options (``transport`` for
@@ -69,19 +75,32 @@ __all__ = [
     "ActorCyclePlan",
     "BACKENDS",
     "CONTROL",
+    "ChaosPolicy",
     "CyclePlan",
+    "ENV_TIMEOUT",
     "Executor",
+    "ExecutorCrashed",
+    "ExecutorError",
+    "ExecutorWedged",
     "MatchActorCore",
+    "NULL_CHAOS",
+    "ProtocolViolation",
+    "RestartsExhausted",
     "RunConfig",
     "RunHandle",
     "RunResult",
     "ServedExecutor",
+    "SessionOverloaded",
     "SessionServer",
     "SimExecutor",
+    "SupervisePolicy",
     "build_plans",
+    "exec_timeout_s",
     "expected_fires",
     "get_executor",
     "match_signature",
     "run",
     "run_section_async",
+    "run_supervised_async",
+    "run_supervised_mp",
 ]

@@ -28,12 +28,14 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
-from ..mpc.config import RunConfig
+from ..mpc.config import RunConfig, SupervisePolicy
 from ..mpc.metrics import SimResult
 from ..trace.events import SectionTrace
 from .base import FireSet, RunHandle, RunResult
+from .chaos import ChaosPolicy
+from .errors import ExecutorCrashed
 from .plan import (CONTROL, CycleAccumulator, MatchActorCore,
                    build_plans)
 
@@ -94,8 +96,9 @@ async def run_section_async(trace: SectionTrace, config: RunConfig
             while not accumulator.done:
                 message = await control_q.get()
                 if message[0] == "actor_error":
-                    raise RuntimeError(
-                        f"match actor {message[1]} failed: {message[2]}")
+                    raise ExecutorCrashed(
+                        f"match actor {message[1]} failed: {message[2]}",
+                        actor=message[1], cycle=plan.index)
                 accumulator.note(message)
             for i in range(n_procs):
                 inboxes[i].put_nowait(("sync",))
@@ -107,8 +110,9 @@ async def run_section_async(trace: SectionTrace, config: RunConfig
                     stats[message[1]] = message[2]
                     remaining -= 1
                 elif message[0] == "actor_error":
-                    raise RuntimeError(
-                        f"match actor {message[1]} failed: {message[2]}")
+                    raise ExecutorCrashed(
+                        f"match actor {message[1]} failed: {message[2]}",
+                        actor=message[1], cycle=plan.index)
                 else:
                     accumulator.note(message)
             wall_s = time.perf_counter() - cycle_start
@@ -137,22 +141,48 @@ class ActorExecutor:
     *transport* selects how messages move: ``"asyncio"`` (tasks in
     this process) or ``"process"`` (one OS process per actor, see
     :mod:`repro.exec.mp`).
+
+    When the config carries a
+    :class:`~repro.mpc.config.SupervisePolicy` (``config.supervise``),
+    or a non-null :class:`~repro.exec.chaos.ChaosPolicy` is given, the
+    run goes through the supervised engines in
+    :mod:`repro.exec.supervise` — heartbeat liveness checks, per-cycle
+    deadlines, checkpoint-replay restarts.  A chaos policy without an
+    explicit supervision policy turns on default supervision: chaos
+    without recovery would just be a hang.
     """
 
     name = "actors"
 
-    def __init__(self, transport: str = "asyncio") -> None:
+    def __init__(self, transport: str = "asyncio",
+                 chaos: Optional[ChaosPolicy] = None) -> None:
         if transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {transport!r}; "
                              f"choose from {TRANSPORTS}")
         self.transport = transport
+        self.chaos = chaos
 
     def submit(self, trace: SectionTrace,
                config: RunConfig) -> RunHandle:
         _check_supported(config)
+        chaos = self.chaos
+        if chaos is not None and chaos.is_null:
+            chaos = None
+        if chaos is not None and config.supervise is None:
+            config = config.replace(supervise=SupervisePolicy())
+        supervised = config.supervise is not None
 
         def thunk() -> RunResult:
-            if self.transport == "process":
+            if supervised:
+                from .supervise import (run_supervised_async,
+                                        run_supervised_mp)
+                if self.transport == "process":
+                    result, fires, wall_s = run_supervised_mp(
+                        trace, config, chaos)
+                else:
+                    result, fires, wall_s = asyncio.run(
+                        run_supervised_async(trace, config, chaos))
+            elif self.transport == "process":
                 from .mp import run_section_mp
                 result, fires, wall_s = run_section_mp(trace, config)
             else:

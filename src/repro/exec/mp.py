@@ -23,11 +23,15 @@ from ..mpc.config import RunConfig
 from ..mpc.metrics import SimResult
 from ..trace.events import SectionTrace
 from .base import FireSet
+from .errors import (DEFAULT_TIMEOUT_S, ExecutorCrashed, ExecutorWedged,
+                     exec_timeout_s)
 from .plan import CONTROL, CycleAccumulator, MatchActorCore, build_plans
 
-#: Seconds the control process waits for any actor message before
-#: declaring the run wedged (an actor died without reporting).
-CONTROL_TIMEOUT_S = 300.0
+#: Default seconds the control process waits for any actor message
+#: before declaring the run wedged (an actor died without reporting).
+#: Resolved through :func:`repro.exec.errors.exec_timeout_s` at call
+#: time, so ``REPRO_EXEC_TIMEOUT_S`` overrides it.
+CONTROL_TIMEOUT_S = DEFAULT_TIMEOUT_S
 
 
 def _mp_context():
@@ -66,12 +70,13 @@ def _actor_process(actor_id: int, config: RunConfig,
 
 
 def _get_control(control_q):
+    timeout_s = exec_timeout_s(CONTROL_TIMEOUT_S)
     try:
-        return control_q.get(timeout=CONTROL_TIMEOUT_S)
+        return control_q.get(timeout=timeout_s)
     except queue_mod.Empty:
-        raise RuntimeError(
+        raise ExecutorWedged(
             "actor run wedged: no control message for "
-            f"{CONTROL_TIMEOUT_S:.0f}s") from None
+            f"{timeout_s:g}s", waited_s=timeout_s) from None
 
 
 def run_section_mp(trace: SectionTrace, config: RunConfig
@@ -103,8 +108,9 @@ def run_section_mp(trace: SectionTrace, config: RunConfig
             while not accumulator.done:
                 message = _get_control(control_q)
                 if message[0] == "actor_error":
-                    raise RuntimeError(
-                        f"match actor {message[1]} failed: {message[2]}")
+                    raise ExecutorCrashed(
+                        f"match actor {message[1]} failed: {message[2]}",
+                        actor=message[1], cycle=plan.index)
                 accumulator.note(message)
             for i in range(n_procs):
                 inboxes[i].put(("sync",))
@@ -116,8 +122,9 @@ def run_section_mp(trace: SectionTrace, config: RunConfig
                     stats[message[1]] = message[2]
                     remaining -= 1
                 elif message[0] == "actor_error":
-                    raise RuntimeError(
-                        f"match actor {message[1]} failed: {message[2]}")
+                    raise ExecutorCrashed(
+                        f"match actor {message[1]} failed: {message[2]}",
+                        actor=message[1], cycle=plan.index)
                 else:
                     accumulator.note(message)
             wall_s = time.perf_counter() - cycle_start

@@ -55,6 +55,7 @@ from ..mpc.metrics import CycleResult
 from ..mpc.simulator import compute_search_costs
 from ..rete.hashing import BucketKey
 from ..trace.events import KIND_TERMINAL, LEFT, SectionTrace
+from .errors import ProtocolViolation
 
 #: Destination id of the control actor in emitted ``(dst, msg)`` pairs.
 CONTROL = -1
@@ -214,19 +215,43 @@ class CycleAccumulator:
         return (self.processed >= self._plan.expected_processed
                 and len(self.fires) >= len(self._plan.expected_fires))
 
-    def finish(self, stats: List[Tuple[float, int, int, int, int]],
+    def finish(self,
+               stats: List[Tuple[float, int, int, int, int, int, int]],
                wall_s: float):
-        """Close the cycle: ``(CycleResult, sorted fire tuple)``."""
+        """Close the cycle: ``(CycleResult, sorted fire tuple)``.
+
+        Validates the delivered fires and processed counts against the
+        plan — globally *and* per actor, with an act-id checksum — and
+        raises :class:`~repro.exec.errors.ProtocolViolation` on any
+        mismatch, so a corrupted cycle is always detected rather than
+        silently folded into the result.
+        """
         plan = self._plan
         fired = tuple(sorted(self.fires))
         if fired != plan.expected_fires:
-            raise RuntimeError(
+            raise ProtocolViolation(
                 f"cycle {plan.index}: delivered instantiations "
-                f"{fired} != expected {plan.expected_fires}")
+                f"{fired} != expected {plan.expected_fires}",
+                cycle=plan.index)
         if self.processed != plan.expected_processed:
-            raise RuntimeError(
+            raise ProtocolViolation(
                 f"cycle {plan.index}: processed {self.processed} "
-                f"activations, expected {plan.expected_processed}")
+                f"activations, expected {plan.expected_processed}",
+                cycle=plan.index)
+        for i, s in enumerate(stats):
+            acts = plan.per_actor[i].acts
+            expect_left = sum(1 for spec in acts.values() if spec[0])
+            expect_xor = 0
+            for act_id in acts:
+                expect_xor ^= act_id
+            if (s[1], s[2], s[5], s[6]) != (len(acts), expect_left,
+                                            sum(acts), expect_xor):
+                raise ProtocolViolation(
+                    f"cycle {plan.index}: actor {i} processed "
+                    f"{s[1]} activations (checksum {s[5]}/{s[6]}), "
+                    f"plan expects {len(acts)} "
+                    f"(checksum {sum(acts)}/{expect_xor})",
+                    cycle=plan.index)
         token_sends = sum(s[3] for s in stats)
         control_sends = sum(s[4] for s in stats)
         n_messages = 1 + token_sends + control_sends
@@ -274,6 +299,8 @@ class MatchActorCore:
         self.left_activations = 0
         self.token_sends = 0
         self.control_sends = 0
+        self.acts_sum = 0
+        self.acts_xor = 0
 
     def on_cycle(self, plan: ActorCyclePlan):
         """Handle the cycle broadcast: constant tests, owned roots."""
@@ -295,10 +322,18 @@ class MatchActorCore:
         processed = self._process(act_id, True, out)
         return out, processed
 
-    def on_sync(self) -> Tuple[float, int, int, int, int]:
-        """Barrier: report and reset this cycle's counters."""
+    def on_sync(self) -> Tuple[float, int, int, int, int, int, int]:
+        """Barrier: report and reset this cycle's counters.
+
+        The trailing ``(acts_sum, acts_xor)`` pair is a checksum over
+        the act ids this actor actually processed;
+        :meth:`CycleAccumulator.finish` compares it against the plan,
+        so a duplicated delivery cannot silently compensate for a
+        dropped one (totals would match, the checksum cannot).
+        """
         stats = (self.busy_us, self.activations, self.left_activations,
-                 self.token_sends, self.control_sends)
+                 self.token_sends, self.control_sends,
+                 self.acts_sum, self.acts_xor)
         self._acts = {}
         self._reset_counters()
         return stats
@@ -317,6 +352,8 @@ class MatchActorCore:
             busy += (self._left_us if is_left else self._right_us) \
                 + extra_us
             self.activations += 1
+            self.acts_sum += current
+            self.acts_xor ^= current
             if is_left:
                 self.left_activations += 1
             for succ_id, dest, is_terminal in successors:

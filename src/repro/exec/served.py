@@ -13,11 +13,22 @@ in the single-session backends — one plan broadcast per recognize-act
 cycle.
 
 A session limit (:data:`DEFAULT_MAX_SESSIONS`) bounds concurrency;
-excess submissions queue on the loop's semaphore.  An optional TCP
-front-end (:meth:`SessionServer.serve_tcp`) accepts JSON-line requests
+excess submissions queue on the loop's semaphore — but only up to a
+configurable high-water mark (*max_pending*).  Past it the server
+*sheds load*: the session fails fast with a typed
+:class:`~repro.exec.errors.SessionOverloaded` instead of queueing
+unboundedly, and the TCP front-end answers with a structured JSON
+error (``{"ok": false, "code": "overloaded", ...}``) instead of
+hanging the client.  An optional TCP front-end
+(:meth:`SessionServer.serve_tcp`) accepts JSON-line requests
 (``{"section": "rubik", "procs": 8, "overhead": 8, "seed": 0}``) and
 answers with one JSON line of result counters — enough to drive a
 served deployment from anything that can speak newline-delimited JSON.
+The front-end also serves health probes (``{"op": "health"}`` /
+``{"op": "ready"}``) reporting active/pending load and drain state,
+and :meth:`SessionServer.stop` performs a *draining* shutdown by
+default: stop accepting, finish in-flight cycles (deadline-bounded,
+``REPRO_EXEC_TIMEOUT_S``-overridable), then tear the loop down.
 """
 
 from __future__ import annotations
@@ -28,13 +39,22 @@ import json
 import threading
 from typing import Callable, Optional
 
-from ..mpc.config import OVERHEADS, RunConfig
+from ..mpc.config import OVERHEADS, RunConfig, SupervisePolicy
+from ..obs import get_logger, get_registry, log_event
 from ..trace.events import SectionTrace
 from .actors import _check_supported, run_section_async
 from .base import RunHandle, RunResult
+from .errors import SessionOverloaded, exec_timeout_s
+from .supervise import run_supervised_async
+
+_LOG = get_logger("repro.exec.served")
 
 #: Sessions allowed to run concurrently before new ones queue.
 DEFAULT_MAX_SESSIONS = 32
+
+#: Default high-water mark: queued-but-not-running sessions allowed
+#: per ``max_sessions`` before the server sheds instead of queueing.
+PENDING_PER_SESSION = 4
 
 
 def _default_trace_loader(section: str, seed: int = 0) -> SectionTrace:
@@ -51,15 +71,25 @@ def _default_trace_loader(section: str, seed: int = 0) -> SectionTrace:
 class SessionServer:
     """A background asyncio loop hosting concurrent match sessions."""
 
-    def __init__(self, max_sessions: int = DEFAULT_MAX_SESSIONS) -> None:
+    def __init__(self, max_sessions: int = DEFAULT_MAX_SESSIONS,
+                 max_pending: Optional[int] = None) -> None:
         if max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
+        if max_pending is None:
+            max_pending = PENDING_PER_SESSION * max_sessions
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
         self.max_sessions = max_sessions
+        self.max_pending = max_pending
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._semaphore: Optional[asyncio.Semaphore] = None
         self._tcp_server = None
         self._lock = threading.Lock()
+        # Load bookkeeping, mutated only on the loop thread.
+        self._active = 0
+        self._pending = 0
+        self._draining = False
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -74,6 +104,8 @@ class SessionServer:
                 asyncio.set_event_loop(loop)
                 self._loop = loop
                 self._semaphore = asyncio.Semaphore(self.max_sessions)
+                self._active = self._pending = 0
+                self._draining = False
                 started.set()
                 try:
                     loop.run_forever()
@@ -87,18 +119,35 @@ class SessionServer:
             started.wait()
         return self
 
-    def stop(self) -> None:
+    def stop(self, drain: bool = True,
+             timeout: Optional[float] = None) -> None:
+        """Shut the server down.
+
+        With *drain* (the default) the listener closes first, new
+        sessions are shed with code ``"draining"``, and in-flight
+        sessions get up to *timeout* seconds (default
+        :func:`~repro.exec.errors.exec_timeout_s` capped at 10 s) to
+        finish before anything is cancelled.  ``drain=False`` cancels
+        everything immediately.
+        """
+        base = exec_timeout_s(10.0) if timeout is None else timeout
         with self._lock:
             thread, loop = self._thread, self._loop
-            self._thread = self._loop = self._semaphore = None
+            # The semaphore stays alive until the drain completes:
+            # sessions submitted before stop() may not have entered it
+            # yet, and must drain normally rather than crash.
+            self._thread = self._loop = None
         if loop is None or thread is None:
             return
         server = self._tcp_server
         self._tcp_server = None
+        drain_s = base if drain else 0.0
         asyncio.run_coroutine_threadsafe(
-            _drain_loop(server), loop).result(timeout=10.0)
+            self._drain_loop(server, drain_s),
+            loop).result(timeout=drain_s + base)
+        self._semaphore = None
         loop.call_soon_threadsafe(loop.stop)
-        thread.join(timeout=10.0)
+        thread.join(timeout=base)
 
     def __enter__(self) -> "SessionServer":
         return self.start()
@@ -122,8 +171,52 @@ class SessionServer:
             self._session(trace, config), self._loop)
 
     async def _session(self, trace: SectionTrace, config: RunConfig):
-        async with self._semaphore:
-            return await run_section_async(trace, config)
+        self._shed_check()
+        self._pending += 1
+        acquired = False
+        try:
+            async with self._semaphore:
+                self._pending -= 1
+                acquired = True
+                self._active += 1
+                try:
+                    if config.supervise is not None:
+                        return await run_supervised_async(trace, config)
+                    return await run_section_async(trace, config)
+                finally:
+                    self._active -= 1
+        finally:
+            if not acquired:
+                self._pending -= 1
+
+    def _shed_check(self) -> None:
+        """Raise :class:`SessionOverloaded` when this session must be
+        shed (draining shutdown, or queue past the high-water mark)."""
+        if self._draining:
+            get_registry().counter("served.shed").inc()
+            log_event(_LOG, "served.shed", reason="draining")
+            raise SessionOverloaded(
+                "server is draining; no new sessions accepted",
+                code="draining")
+        if self._pending >= self.max_pending:
+            get_registry().counter("served.shed").inc()
+            log_event(_LOG, "served.shed", reason="overloaded",
+                      pending=self._pending, active=self._active)
+            raise SessionOverloaded(
+                f"server overloaded: {self._pending} sessions queued "
+                f"(high-water mark {self.max_pending}); retry later",
+                code="overloaded")
+
+    @property
+    def load(self) -> dict:
+        """A point-in-time load snapshot (health-probe payload)."""
+        return {
+            "active": self._active,
+            "pending": self._pending,
+            "max_sessions": self.max_sessions,
+            "max_pending": self.max_pending,
+            "draining": self._draining,
+        }
 
     # -- TCP front-end ------------------------------------------------------
 
@@ -156,11 +249,23 @@ class SessionServer:
             return server.sockets[0].getsockname()[1]
 
         return asyncio.run_coroutine_threadsafe(
-            start_server(), self._loop).result(timeout=10.0)
+            start_server(), self._loop).result(
+                timeout=exec_timeout_s(10.0))
 
     async def _handle_request(self, line: bytes, loader) -> dict:
+        """One JSON-line request → one structured JSON reply.
+
+        Error replies always carry a machine-readable ``code``:
+        ``"overloaded"`` / ``"draining"`` for shed load,
+        ``"bad_request"`` for malformed input, ``"error"`` otherwise
+        (including typed executor failures, whose class name rides in
+        ``"error_type"``).
+        """
         try:
             request = json.loads(line)
+            op = request.get("op")
+            if op in ("health", "ready"):
+                return self._probe_reply(op)
             trace = loader(request["section"],
                            int(request.get("seed", 0)))
             overhead = int(request.get("overhead", 0))
@@ -169,13 +274,21 @@ class SessionServer:
                 raise ValueError(f"overhead must be one of "
                                  f"{sorted(OVERHEADS)} or 0")
             config = RunConfig(n_procs=int(request.get("procs", 1)),
+                               supervise=(SupervisePolicy()
+                                          if request.get("supervise")
+                                          else None),
                                **({"overheads": overheads}
                                   if overheads else {}))
-            async with self._semaphore:
-                result, fires, wall_s = await run_section_async(
-                    trace, config)
+            result, fires, wall_s = await self._session(trace, config)
+        except SessionOverloaded as err:
+            return {"ok": False, "error": str(err), "code": err.code}
+        except (KeyError, ValueError, TypeError,
+                json.JSONDecodeError) as err:
+            return {"ok": False, "error": str(err),
+                    "code": "bad_request"}
         except Exception as err:
-            return {"ok": False, "error": str(err)}
+            return {"ok": False, "error": str(err), "code": "error",
+                    "error_type": type(err).__name__}
         return {
             "ok": True,
             "section": trace.name,
@@ -187,19 +300,46 @@ class SessionServer:
             "wall_s": wall_s,
         }
 
+    def _probe_reply(self, op: str) -> dict:
+        load = self.load
+        if op == "health":
+            return {"ok": True, "op": "health",
+                    "status": "draining" if load["draining"] else "up",
+                    **load}
+        ready = (not load["draining"]
+                 and load["pending"] < load["max_pending"])
+        return {"ok": True, "op": "ready", "ready": ready, **load}
 
-async def _drain_loop(server) -> None:
-    """Close the TCP listener (if any) and cancel leftover tasks —
-    open client handlers, queued sessions — so the loop stops clean."""
-    if server is not None:
-        server.close()
-        await server.wait_closed()
-    current = asyncio.current_task()
-    leftovers = [task for task in asyncio.all_tasks()
-                 if task is not current]
-    for task in leftovers:
-        task.cancel()
-    await asyncio.gather(*leftovers, return_exceptions=True)
+    # -- shutdown -----------------------------------------------------------
+
+    async def _drain_loop(self, server, drain_s: float) -> None:
+        """Draining shutdown on the loop thread: close the listener,
+        shed new sessions, give in-flight ones *drain_s* seconds to
+        finish, then cancel whatever is left (idle client handlers,
+        overdue sessions) so the loop stops clean."""
+        self._draining = True
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        if drain_s > 0.0:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + drain_s
+            while ((self._active or self._pending)
+                   and loop.time() < deadline):
+                await asyncio.sleep(0.01)
+            # Grace tick: let handlers flush replies for sessions that
+            # just finished before their tasks are cancelled.
+            await asyncio.sleep(0.05)
+        current = asyncio.current_task()
+        leftovers = [task for task in asyncio.all_tasks()
+                     if task is not current]
+        if leftovers:
+            log_event(_LOG, "served.drain",
+                      cancelled=len(leftovers),
+                      active=self._active, pending=self._pending)
+        for task in leftovers:
+            task.cancel()
+        await asyncio.gather(*leftovers, return_exceptions=True)
 
 
 class ServedExecutor:
@@ -213,8 +353,10 @@ class ServedExecutor:
     name = "served"
 
     def __init__(self, max_sessions: int = DEFAULT_MAX_SESSIONS,
+                 max_pending: Optional[int] = None,
                  server: Optional[SessionServer] = None) -> None:
-        self._server = server or SessionServer(max_sessions)
+        self._server = server or SessionServer(max_sessions,
+                                               max_pending=max_pending)
 
     @property
     def server(self) -> SessionServer:

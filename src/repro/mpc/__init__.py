@@ -12,7 +12,8 @@ Typical use::
     print(speedup(base, run))
 """
 
-from .config import OVERHEADS, MappingFactory, RunConfig
+from .config import (OVERHEADS, MappingFactory, RunConfig,
+                     SupervisePolicy)
 from .continuum import simulate_master_copy, simulate_replicated
 from .dedicated import simulate_dedicated_alpha
 from .costmodel import (DEFAULT_COSTS, TABLE_5_1, ZERO_OVERHEADS, CostModel,
@@ -61,7 +62,7 @@ __all__ = [
     "greedy_mapping",
     "CycleResult", "SimResult", "SparseProcArray", "speedup",
     "speedup_series",
-    "OVERHEADS", "MappingFactory", "RunConfig",
+    "OVERHEADS", "MappingFactory", "RunConfig", "SupervisePolicy",
     "BucketWorkCache", "GreedyMappingFactory",
     "bucket_work", "compute_search_costs", "iter_cycle_results",
     "simulate", "simulate_base", "simulate_config",

@@ -44,6 +44,67 @@ OVERHEADS: Dict[int, OverheadModel] = {int(m.total_us): m
 
 
 @dataclass(frozen=True)
+class SupervisePolicy:
+    """Supervision knobs for the live executor backends.
+
+    Plain numbers with no behavior of their own (the machinery lives in
+    :mod:`repro.exec.supervise`); defined here so :class:`RunConfig`
+    can carry them without an import cycle.
+
+    Attributes
+    ----------
+    heartbeat_s:
+        How often the control actor checks worker liveness while
+        waiting for cycle progress.  Every wait on the control queue is
+        chopped into heartbeats, so a dead worker is noticed within one
+        interval instead of one full deadline.
+    cycle_timeout_s:
+        Per-phase deadline: the longest one recognize-act cycle may go
+        without quiescing before the attempt is declared wedged.
+        ``None`` resolves through :func:`repro.exec.errors
+        .exec_timeout_s` (the ``REPRO_EXEC_TIMEOUT_S`` environment
+        override, default 300 s).
+    max_restarts:
+        Worker-restart budget per cycle.  A crashed or wedged attempt
+        respawns every partition worker and replays the cycle from its
+        :class:`~repro.exec.plan.CyclePlan` checkpoint; after this many
+        failed replays the run raises
+        :class:`~repro.exec.errors.RestartsExhausted`.
+    backoff / restart_delay_s:
+        Exponential-backoff pause before each replay: attempt *k* waits
+        ``restart_delay_s * backoff**k`` seconds (bounded by
+        ``max_delay_s``), giving a transiently-sick host room to
+        recover without stalling tests.
+    """
+
+    heartbeat_s: float = 0.05
+    cycle_timeout_s: Optional[float] = None
+    max_restarts: int = 3
+    backoff: float = 2.0
+    restart_delay_s: float = 0.01
+    max_delay_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_s <= 0.0:
+            raise ValueError("heartbeat_s must be > 0")
+        if self.cycle_timeout_s is not None and self.cycle_timeout_s <= 0:
+            raise ValueError("cycle_timeout_s must be > 0")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.restart_delay_s < 0.0:
+            raise ValueError("restart_delay_s must be >= 0")
+        if self.max_delay_s < 0.0:
+            raise ValueError("max_delay_s must be >= 0")
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff pause before replay *attempt* (0-based)."""
+        return min(self.restart_delay_s * self.backoff ** attempt,
+                   self.max_delay_s)
+
+
+@dataclass(frozen=True)
 class RunConfig:
     """A complete machine/run configuration for one section execution.
 
@@ -71,7 +132,16 @@ class RunConfig:
     #: fully-idle cycles analytically (bit-identical results, run-length
     #: encoded; see :mod:`repro.mpc.simulator`).  Off by default so
     #: existing comparisons see byte-for-byte identical result shapes.
+    #: Composes with fault injection: every fault draw is keyed to the
+    #: absolute cycle index, so draws survive collapsed idle stretches,
+    #: and idle cycles touched by a stall window or fail-stop are
+    #: simulated exactly instead of collapsed.
     compress_rounds: bool = False
+    #: Supervision policy for the live executor backends (heartbeats,
+    #: per-cycle deadlines, checkpoint-replay restarts; see
+    #: :mod:`repro.exec.supervise`).  ``None`` runs unsupervised.  The
+    #: discrete simulator ignores it.
+    supervise: Optional[SupervisePolicy] = None
 
     def __post_init__(self) -> None:
         if self.n_procs < 1:
@@ -81,13 +151,6 @@ class RunConfig:
             raise ValueError(
                 f"mapping built for {self.mapping.n_procs} processors, "
                 f"simulating {self.n_procs}")
-        if self.compress_rounds and self.faulty:
-            # StallWindow and the loss/dup/jitter draws are defined per
-            # real cycle; compressing rounds under them would change
-            # which cycles the faults land on.
-            raise ValueError(
-                "compress_rounds is incompatible with fault injection; "
-                "drop --compress-rounds or the fault flags")
 
     @property
     def faulty(self) -> bool:
@@ -151,4 +214,7 @@ class RunConfig:
                                           max_retries=retries),
                    recorder=recorder,
                    compress_rounds=getattr(args, "compress_rounds",
-                                           False))
+                                           False),
+                   supervise=(SupervisePolicy()
+                              if getattr(args, "supervise", False)
+                              else None))

@@ -226,19 +226,21 @@ def run_grid(trace: SectionTrace, points: Sequence[GridPoint],
     remaining = _run_pool(trace, costs, points, range(len(points)),
                           results, n_workers)
     if remaining:
+        registry.counter("parallel.pool_broken").inc()
         registry.counter("parallel.pool_breaks").inc()
         registry.counter("parallel.retried_points").inc(len(remaining))
-        logger.warning(
-            "worker pool broke with %d of %d point(s) unfinished; "
-            "retrying them in a fresh pool", len(remaining), len(points))
+        log_event(logger, "pool_broken", level=logging.WARNING,
+                  trace=trace.name, unfinished=len(remaining),
+                  points=len(points), action="retry_fresh_pool")
         remaining = _run_pool(trace, costs, points, remaining, results,
                               min(n_workers, len(remaining)))
     if remaining:
+        registry.counter("parallel.pool_broken").inc()
         registry.counter("parallel.pool_breaks").inc()
         registry.counter("parallel.serial_points").inc(len(remaining))
-        logger.warning(
-            "fresh pool broke too; evaluating %d point(s) serially "
-            "in-process", len(remaining))
+        log_event(logger, "pool_broken", level=logging.WARNING,
+                  trace=trace.name, unfinished=len(remaining),
+                  points=len(points), action="serial_fallback")
         for i in remaining:
             results[i] = _eval_point(trace, costs, points[i])
         logger.info("recovered grid point(s) %s via serial fallback",

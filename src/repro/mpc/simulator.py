@@ -262,6 +262,25 @@ def iter_cycle_results(trace, config: RunConfig
         recorder.begin_section(trace.name, n_procs, costs, overheads,
                                faulty)
 
+    # Round compression under fault injection: every fault draw is
+    # already keyed to the *absolute* cycle index (see
+    # :func:`repro.mpc.faults.counter_u01` callers), so collapsing an
+    # idle stretch never shifts which cycles later faults land on.  The
+    # two fault-model features that can touch a fully-idle cycle are
+    # handled explicitly: every-cycle stall windows (``cycle=None``)
+    # fold into the closed-form idle template
+    # (:func:`_idle_cycle_result_faulty`), and cycle-specific stalls /
+    # fail-stops break the stretch so those indices are simulated
+    # exactly.  With a recorder attached, idle cycles under faults are
+    # simulated per-cycle too (exact spans beat collapsed ones).
+    fault_breaks: frozenset = frozenset()
+    collapse_idle = True
+    if compress and faulty:
+        collapse_idle = recorder is None
+        fault_breaks = frozenset(
+            s.cycle for s in faults.stalls if s.cycle is not None
+        ) | frozenset(f.cycle for f in faults.failures)
+
     tracker = _SearchCostTracker(costs.delete_search_us)
     idle_template: Optional[CycleResult] = None
     pending_start = 0
@@ -275,11 +294,41 @@ def iter_cycle_results(trace, config: RunConfig
         start, count = pending_start, pending_count
         pending_count = 0
         if idle_template is None:
-            idle_template = _idle_cycle_result(n_procs, costs, overheads)
+            idle_template = (
+                _idle_cycle_result_faulty(n_procs, costs, overheads,
+                                          faults)
+                if faulty else
+                _idle_cycle_result(n_procs, costs, overheads))
         if recorder is not None:
             record_idle_stretch(recorder, start, count, n_procs, costs,
                                 overheads)
         yield (replace(idle_template, index=start), count)
+
+    def one_cycle(cycle) -> Iterator[Tuple[CycleResult, int]]:
+        """Simulate one cycle on whichever loop the config selects."""
+        cycle_mapping = (mapping_factory(cycle) if mapping_factory
+                         else mapping)
+        if cycle_mapping.n_procs != n_procs:
+            raise ValueError("mapping_factory produced a mapping for "
+                             f"{cycle_mapping.n_procs} processors")
+        search_costs = tracker.charge(cycle)
+        if faulty:
+            cycle_result = simulate_cycle_with_faults(
+                cycle, n_procs, costs, overheads, cycle_mapping,
+                faults, protocol, search_costs, recorder=recorder)
+        elif recorder is not None:
+            cycle_result = _simulate_cycle_recorded(
+                cycle, n_procs, costs, overheads, cycle_mapping,
+                search_costs, recorder)
+        elif compress:
+            cycle_result = _simulate_cycle_active(
+                cycle, n_procs, costs, overheads, cycle_mapping,
+                search_costs)
+        else:
+            cycle_result = _simulate_cycle(
+                cycle, n_procs, costs, overheads, cycle_mapping,
+                search_costs)
+        yield (cycle_result, 1)
 
     for entry in trace:
         is_idle_run = isinstance(entry, IdleRun)
@@ -293,40 +342,31 @@ def iter_cycle_results(trace, config: RunConfig
                 idle_start, idle_count = entry.index, 1
             else:
                 idle_start = None
-            if idle_start is not None:
-                if pending_count \
-                        and pending_start + pending_count == idle_start:
-                    pending_count += idle_count
-                else:
-                    yield from flush()
-                    pending_start = idle_start
-                    pending_count = idle_count
+            if idle_start is not None and collapse_idle:
+                end = idle_start + idle_count
+                # Stretch boundaries at fault-affected indices (the
+                # break set is tiny — explicit stalls and fail-stops —
+                # so this never iterates the idle run itself).
+                breaks = (sorted(b for b in fault_breaks
+                                 if idle_start <= b < end)
+                          if fault_breaks else [])
+                pos = idle_start
+                for b in breaks + [end]:
+                    if pos < b:
+                        if pending_count and \
+                                pending_start + pending_count == pos:
+                            pending_count += b - pos
+                        else:
+                            yield from flush()
+                            pending_start, pending_count = pos, b - pos
+                    if b < end:
+                        yield from flush()
+                        yield from one_cycle(CycleTrace(index=b))
+                    pos = b + 1
                 continue
             yield from flush()
         for cycle in entry.cycles() if is_idle_run else (entry,):
-            cycle_mapping = (mapping_factory(cycle) if mapping_factory
-                             else mapping)
-            if cycle_mapping.n_procs != n_procs:
-                raise ValueError("mapping_factory produced a mapping for "
-                                 f"{cycle_mapping.n_procs} processors")
-            search_costs = tracker.charge(cycle)
-            if faulty:
-                cycle_result = simulate_cycle_with_faults(
-                    cycle, n_procs, costs, overheads, cycle_mapping,
-                    faults, protocol, search_costs, recorder=recorder)
-            elif recorder is not None:
-                cycle_result = _simulate_cycle_recorded(
-                    cycle, n_procs, costs, overheads, cycle_mapping,
-                    search_costs, recorder)
-            elif compress:
-                cycle_result = _simulate_cycle_active(
-                    cycle, n_procs, costs, overheads, cycle_mapping,
-                    search_costs)
-            else:
-                cycle_result = _simulate_cycle(
-                    cycle, n_procs, costs, overheads, cycle_mapping,
-                    search_costs)
-            yield (cycle_result, 1)
+            yield from one_cycle(cycle)
     yield from flush()
 
 
@@ -568,6 +608,52 @@ def _idle_cycle_result(n_procs: int, costs: CostModel,
         n_messages=1,
         network_busy_us=latency_us if n_procs > 0 else 0.0,
         control_busy_us=send_us)
+
+
+def _idle_cycle_result_faulty(n_procs: int, costs: CostModel,
+                              overheads: OverheadModel,
+                              faults) -> CycleResult:
+    """Closed-form result of one fully-idle cycle under *faults*.
+
+    An idle cycle carries no data messages (the broadcast is reliable
+    by model), so loss, duplication and jitter draws can never reach it
+    — the only fault state that can is a stall window.  Cycle-specific
+    stalls and fail-stops are excluded from compression by the caller
+    (their indices break the stretch), leaving every-cycle
+    (``cycle=None``) windows, which by definition hit each idle cycle
+    identically: one template serves the whole stretch.  Each
+    expression mirrors :func:`repro.mpc.faults
+    .simulate_cycle_with_faults` on an empty cycle operation for
+    operation — same operands, same order — so the template is
+    bit-identical to simulating the cycle.
+    """
+    base = _idle_cycle_result(n_procs, costs, overheads)
+    windows: Dict[int, List[Tuple[float, float]]] = {}
+    for stall in faults.stalls:
+        if stall.cycle is not None:
+            continue
+        if not 0 <= stall.proc < n_procs:
+            continue
+        windows.setdefault(stall.proc, []).append(
+            (stall.start_us, stall.end_us))
+    if not windows:
+        return base
+    match_start = overheads.send_us + overheads.latency_us \
+        + overheads.recv_us
+    stall_us = 0.0
+    makespan = base.makespan_us
+    for p in sorted(windows):  # ascending: float-sum order matters
+        intervals = windows[p]
+        intervals.sort()
+        t = match_start
+        for start, end in intervals:
+            if start <= t < end:
+                t = end
+        stall_us += t - match_start
+        ready = t + costs.constant_tests_us
+        if ready > makespan:
+            makespan = ready
+    return replace(base, makespan_us=makespan, stall_us=stall_us)
 
 
 def _simulate_cycle_active(cycle: CycleTrace, n_procs: int,

@@ -313,3 +313,47 @@ class TestObservability:
                      "--procs", "4", "-v"]) == 0
         capsys.readouterr()
         assert main(["profile", "weaver", "--procs", "2", "-vv"]) == 0
+
+
+class TestSuperviseAndChaosFlags:
+    def test_run_supervised_actors(self, capsys):
+        assert main(["run", "--backend", "actors", "--supervise",
+                     "--section", "rubik", "--procs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "match the simulator" in out
+        assert "supervised" in out
+
+    def test_run_chaos_seed_recovers(self, capsys):
+        assert main(["run", "--backend", "actors", "--chaos-seed", "7",
+                     "--section", "rubik", "--procs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered from seeded chaos (seed 7)" in out
+
+    def test_run_chaos_json_payload(self, capsys):
+        import json as json_mod
+        assert main(["run", "--backend", "actors", "--chaos",
+                     "--section", "rubik", "--procs", "2",
+                     "--json"]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["supervised"] is True
+        assert payload["chaos_seed"] == 0
+        assert payload["matches_simulator"] is True
+
+    def test_chaos_requires_actors_backend(self, capsys):
+        assert main(["run", "--backend", "sim", "--chaos-seed", "1",
+                     "--section", "rubik"]) == 2
+        assert "actors backend only" in capsys.readouterr().err
+
+    def test_supervise_rejected_on_sim(self, capsys):
+        assert main(["run", "--backend", "sim", "--supervise",
+                     "--section", "rubik"]) == 2
+        assert "live backends only" in capsys.readouterr().err
+
+    def test_check_only_filter(self, capsys):
+        assert main(["check", "--only", "compressed_vs_exact_faults",
+                     "--budget", "10"]) == 0
+        assert "0 failing" in capsys.readouterr().out
+
+    def test_check_only_rejects_unknown_name(self, capsys):
+        assert main(["check", "--only", "nope", "--budget", "2"]) == 2
+        assert "unknown check name" in capsys.readouterr().err

@@ -66,6 +66,14 @@ def test_fault_tolerance():
     assert "recovering" in result.stdout
 
 
+def test_chaos_recovery():
+    result = run_example("chaos_recovery.py")
+    assert result.returncode == 0, result.stderr
+    assert "bit-identical to the simulator" in result.stdout
+    assert "replayed from its plan checkpoint" in result.stdout
+    assert "typed give-up after 4 attempts" in result.stdout
+
+
 def test_architectures_rejects_unknown_section():
     result = run_example("architectures.py", "nosuch")
     assert result.returncode != 0

@@ -128,16 +128,20 @@ def test_compression_off_by_default():
     assert result.repeats is None
 
 
-def test_compress_rejects_fault_injection():
-    with pytest.raises(ValueError, match="incompatible with fault"):
-        RunConfig(n_procs=4, compress_rounds=True,
-                  faults=FaultModel(loss_prob=0.01))
-    with pytest.raises(ValueError, match="incompatible with fault"):
-        RunConfig(n_procs=4, compress_rounds=True,
-                  faults=FaultModel(
-                      stalls=(StallWindow(proc=0, start_us=0.0,
-                                          end_us=10.0),)))
-    # A null fault model never perturbs a run, so it composes fine.
+def test_compress_composes_with_fault_injection():
+    """Compression no longer refuses faults: draws are keyed to absolute
+    cycle indices, so the compressed run matches the exact loop bitwise."""
+    trace = _small_trace()
+    faults = FaultModel(seed=11, loss_prob=0.05, dup_prob=0.02,
+                        stalls=(StallWindow(proc=0, start_us=0.0,
+                                            end_us=50.0, cycle=3),))
+    exact = simulate_config(trace, RunConfig(n_procs=4, faults=faults))
+    compressed = simulate_config(
+        trace, RunConfig(n_procs=4, compress_rounds=True, faults=faults))
+    assert _identical(compressed.expanded(), exact)
+    assert compressed.total_us == exact.total_us
+    assert compressed.n_messages == exact.n_messages
+    # A null fault model never perturbs a run either way.
     config = RunConfig(n_procs=4, compress_rounds=True,
                        faults=FaultModel())
     assert not config.faulty
@@ -389,9 +393,9 @@ def test_cli_compress_rounds_smoke(capsys):
     assert compressed == exact
 
 
-def test_cli_compress_rounds_rejects_faults(capsys):
+def test_cli_compress_rounds_composes_with_faults(capsys):
     from repro.cli import main
     assert main(["simulate", "--section", "rubik", "--procs", "8",
-                 "--compress-rounds", "--loss", "0.01"]) == 2
-    assert "incompatible with fault injection" \
-        in capsys.readouterr().err
+                 "--compress-rounds", "--loss", "0.01"]) == 0
+    out = capsys.readouterr().out
+    assert "rubik" in out

@@ -197,6 +197,23 @@ class TestWorkerCrashRecovery:
         assert any("serial fallback" in rec.message
                    for rec in caplog.records)
 
+    def test_pool_break_emits_metric_and_structured_log(self, sections,
+                                                        caplog):
+        from repro.obs import get_registry
+        trace = sections[0]
+        points = self.crash_points()
+        counter = get_registry().counter("parallel.pool_broken")
+        before = counter.value
+        with caplog.at_level("WARNING", logger="repro.mpc.parallel"):
+            run_grid(trace, points, workers=2)
+        assert counter.value > before
+        broken = [rec.message for rec in caplog.records
+                  if rec.message.startswith("pool_broken")]
+        assert broken, "expected a structured pool_broken log line"
+        assert any("action=retry_fresh_pool" in msg
+                   or "action=serial_fallback" in msg
+                   for msg in broken)
+
     def test_multiple_crashes_still_complete(self, sections):
         trace = sections[0]
         points = self.crash_points(n_crash=2)
