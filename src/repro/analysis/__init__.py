@@ -2,7 +2,8 @@
 metrics for the Figure 5-5 phenomena, and ASCII report formatting."""
 
 from .autotune import AutotuneResult, autotune
-from .diagnostics import (Finding, diagnose, diagnose_measured,
+from .diagnostics import (Finding, diagnose, diagnose_live,
+                          diagnose_measured,
                           find_bottleneck_generators, find_cross_products,
                           find_multiple_modify, find_small_cycles)
 from .distribution import (BucketModel, expected_max_load, imbalance_factor,
@@ -13,7 +14,7 @@ from .report import bar_chart, curve_plot, format_table
 
 __all__ = [
     "AutotuneResult", "autotune",
-    "Finding", "diagnose", "diagnose_measured",
+    "Finding", "diagnose", "diagnose_live", "diagnose_measured",
     "find_bottleneck_generators", "find_cross_products",
     "find_multiple_modify", "find_small_cycles",
     "BucketModel", "expected_max_load", "imbalance_factor",

@@ -237,3 +237,33 @@ def diagnose_measured(trace: SectionTrace, n_procs: int = 16,
                    f"ms of {section.idle_us / 1000:.2f} ms)",
             remedy=_MEASURED_REMEDIES[category]))
     return findings
+
+
+def diagnose_live(timeline) -> List[Finding]:
+    """Findings from a live traced run's measured attribution.
+
+    Same closed loop as :func:`diagnose_measured`, but the numbers are
+    wall-clock truth from a traced ``actors`` run: *timeline* is the
+    :class:`~repro.obs.trace.LiveTimeline` off ``RunResult.live``
+    (``repro run --backend actors --trace-live``).  Attribution comes
+    from :func:`repro.obs.trace.live_attribution` — the same
+    category vocabulary as the simulator's, so the remedies carry
+    over verbatim and a sim-vs-live comparison is category-by-category.
+    """
+    from ..obs.trace import live_attribution
+    section = live_attribution(timeline)
+    shares = section.idle_shares()
+    idle_by_category = section.idle_by_category()
+    findings = []
+    for category in sorted(shares, key=lambda c: -shares[c]):
+        if shares[category] < MEASURED_IDLE_SHARE:
+            continue
+        findings.append(Finding(
+            kind="live-idle", cycle_index=-1, node_id=-1,
+            detail=f"{shares[category]:.0%} of measured live idle time "
+                   f"on {timeline.n_procs} actors "
+                   f"({timeline.transport} transport) is {category} "
+                   f"({idle_by_category[category] / 1000:.2f} ms of "
+                   f"{section.idle_us / 1000:.2f} ms)",
+            remedy=_MEASURED_REMEDIES[category]))
+    return findings

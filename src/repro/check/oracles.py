@@ -38,6 +38,13 @@ paths that are documented to produce *identical* results.  The pairs:
     live run and model time on the simulated one, so they are reported
     but never compared.  Declares ``every=5`` (an event loop per case
     is not free).
+``live_trace_invisible``
+    ``RunConfig(live_trace=True)`` — flight recorders on every actor,
+    span contexts on every data message — must be bit-invisible to
+    the actors backend: identical match signature and identical
+    per-cycle counters (wall-measured makespans excluded), and the
+    merged timeline must reconcile exactly against the run's own
+    counters.  Declares ``every=5``.
 ``live_recovery``
     Supervised actors under a per-case drawn
     :class:`~repro.exec.chaos.ChaosPolicy` (kills, message drops,
@@ -317,6 +324,47 @@ def actors_vs_sim(case: TraceCase) -> Optional[str]:
     return None
 
 
+def live_trace_invisible(case: TraceCase) -> Optional[str]:
+    """Live tracing must not change what the actors backend computes.
+
+    Runs the asyncio actors backend twice — untraced, then with
+    ``live_trace=True`` — and requires the match signatures and every
+    per-cycle result field to be identical, except ``makespan_us``
+    (measured wall time on a live run, legitimately different run to
+    run).  The traced run must return a merged timeline that passes
+    :func:`repro.obs.trace.reconcile_live` — span counts summing
+    exactly to the protocol's own activation and message counters.
+    """
+    from ..exec import match_signature, run
+    from ..obs.trace import reconcile_live
+    n_procs, overheads = _pick_config(case, "live_trace_invisible")
+    config = RunConfig(n_procs=n_procs, overheads=overheads)
+    plain = run(case.trace, config, backend="actors")
+    traced = run(case.trace, config.replace(live_trace=True),
+                 backend="actors")
+    if match_signature(plain) != match_signature(traced):
+        return (f"live tracing changed the match signature at "
+                f"P={n_procs}, overheads={overheads.label()}")
+    if plain.result.cycles:
+        fields = tuple(
+            name for name
+            in dataclasses.asdict(plain.result.cycles[0])
+            if name != "makespan_us")
+        diff = _diff_results(plain.result, traced.result,
+                             fields=fields)
+        if diff:
+            return (f"live tracing changed results at P={n_procs}, "
+                    f"overheads={overheads.label()}: {diff}")
+    if traced.live is None:
+        return "traced run returned no merged timeline"
+    try:
+        reconcile_live(traced.live, traced.result)
+    except ValueError as err:
+        return (f"live trace failed reconciliation at P={n_procs}, "
+                f"overheads={overheads.label()}: {err}")
+    return None
+
+
 def live_recovery(case: TraceCase) -> Optional[str]:
     """Supervised actors under seeded chaos: recover or fail loudly.
 
@@ -453,6 +501,8 @@ ORACLES: Tuple[Oracle, ...] = (
     Oracle("protocol_zero_fault", "trace", protocol_zero_fault),
     Oracle("recorder_invisible", "trace", recorder_invisible),
     Oracle("actors_vs_sim", "trace", actors_vs_sim, every=5),
+    Oracle("live_trace_invisible", "trace", live_trace_invisible,
+           every=5),
     Oracle("live_recovery", "trace", live_recovery, every=10),
     Oracle("cache_round_trip", "trace", cache_round_trip),
     Oracle("parallel_vs_serial", "trace", parallel_vs_serial, every=25),

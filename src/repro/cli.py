@@ -22,6 +22,13 @@ Commands
     Run a section on an executor backend (``--backend sim`` /
     ``actors`` / ``served``; live runs are cross-checked against the
     simulator), or execute an OPS5 source file on the Rete engine.
+    ``--trace-live`` distributed-traces an actors run (flight
+    recorders, span contexts, clock-aligned merge) into a Chrome
+    trace-event file, reconciled against the match counters.
+``loadtest``
+    Open-loop (Poisson-arrival) load test of the served backend;
+    writes throughput, latency quantiles and shed counts to
+    ``BENCH_served.json``.
 
 Examples
 --------
@@ -38,7 +45,9 @@ Examples
     python -m repro trace --section weaver --out weaver.trace
     python -m repro simulate --trace-file weaver.trace --procs 16
     python -m repro run --backend actors --section rubik --procs 2
+    python -m repro run --backend actors --procs 4 --trace-live
     python -m repro run --backend served --sessions 8 --procs 4
+    python -m repro loadtest --sessions 64 --duration 5
     python -m repro run my_program.ops --max-cycles 100
 
 Errors (an unreadable or malformed trace file, an invalid flag
@@ -74,6 +83,20 @@ SECTIONS = {
 
 class CLIError(Exception):
     """A user-facing error: printed as one line, exit status 2."""
+
+
+def _print_json(payload: dict, sort_keys: bool = False) -> None:
+    """Print a ``--json`` payload with the end-of-run observability
+    snapshot folded in under ``"obs"``.
+
+    Every machine-readable output thereby carries what the whole stack
+    did this process — trace-cache hits, broken sweep pools
+    (``parallel.pool_broken``), shed sessions, live-trace dumps —
+    instead of those counters dying invisibly at exit."""
+    from .obs import get_registry
+    payload = dict(payload)
+    payload["obs"] = get_registry().snapshot()
+    print(json.dumps(payload, indent=2, sort_keys=sort_keys))
 
 
 def _apply_perf_flags(args) -> None:
@@ -184,7 +207,7 @@ def cmd_simulate(args) -> int:
                 "duplicate_drops": run.duplicate_drops,
             } for n_procs, run in zip(args.procs, runs)],
         }
-        print(json.dumps(payload, indent=2))
+        _print_json(payload)
         return 0
     headers = ["procs", "time (ms)", "speedup", "messages", "net idle"]
     if faults is not None:
@@ -234,7 +257,7 @@ def cmd_fault_sweep(args) -> int:
             recorder=recorder))
         write_chrome_trace(recorder.timeline, args.timeline)
     if args.json:
-        print(json.dumps({
+        _print_json({
             "trace": trace.name,
             "n_procs": args.procs,
             "overheads_us": overheads.total_us,
@@ -244,7 +267,7 @@ def cmd_fault_sweep(args) -> int:
             "degradation": [curve.degradation(i)
                             for i in range(len(curve.speedups))],
             "monotone": curve.is_monotone(),
-        }, indent=2))
+        })
     else:
         print(format_degradation(
             curve,
@@ -266,6 +289,18 @@ def cmd_diagnose(args) -> int:
     findings = diagnose(trace)
     findings += diagnose_measured(trace, n_procs=args.procs,
                                   overheads=config.overheads)
+    if getattr(args, "live", False):
+        # Measured truth, not the model: run the actors backend traced
+        # and attribute the merged live timeline the same way.
+        from .analysis import diagnose_live
+        from .exec import ExecutorError
+        from .exec import run as exec_run
+        try:
+            outcome = exec_run(trace, config.replace(live_trace=True),
+                               backend="actors")
+        except ExecutorError as err:
+            raise CLIError(f"{type(err).__name__}: {err}") from err
+        findings += diagnose_live(outcome.live)
     if not findings:
         print(f"{trace.name}: no speedup limiters detected")
         return 0
@@ -342,14 +377,14 @@ def cmd_cache_stats(args) -> int:
         except OSError:
             pass
     if args.json:
-        print(json.dumps({
+        _print_json({
             "dir": str(directory),
             "enabled": cache_enabled(),
             "entries": len(entries),
             "bytes": total_bytes,
             "quarantined": len(corrupt),
             "counters": cache_stats(),
-        }, indent=2))
+        })
         return 0
     print(f"cache dir: {directory}")
     print(f"enabled: {cache_enabled()}")
@@ -456,8 +491,7 @@ def cmd_check(args) -> int:
         report = run()
 
     if args.json:
-        json.dump(report.to_dict(), sys.stdout, indent=2, sort_keys=True)
-        print()
+        _print_json(report.to_dict(), sort_keys=True)
     else:
         print(f"checked {report.cases_run} cases "
               f"(seed {report.seed}) in {report.elapsed_s:.2f}s: "
@@ -467,6 +501,42 @@ def cmd_check(args) -> int:
             if failure.repro_path:
                 print(f"    repro: {failure.repro_path}")
     return 0 if report.ok else 1
+
+
+def cmd_loadtest(args) -> int:
+    from .exec.loadtest import run_loadtest
+    if args.duration <= 0:
+        raise CLIError(f"--duration must be > 0, got {args.duration:g}")
+    _check_procs(args.procs)
+    payload = run_loadtest(sessions=args.sessions,
+                           duration_s=args.duration, seed=args.seed,
+                           procs=args.procs,
+                           max_sessions=args.max_sessions,
+                           max_pending=args.max_pending)
+    with open(args.out, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2)
+        stream.write("\n")
+    if args.json:
+        _print_json(payload)
+    else:
+        shed = payload["shed"]
+        lat = payload["latency_s"]
+        print(f"offered {payload['sessions']} sessions over "
+              f"{payload['duration_s']:g}s "
+              f"({payload['offered_rate_per_s']:.1f}/s, seed "
+              f"{payload['seed']}), {payload['procs']} actors each")
+        print(f"  completed {payload['completed']} "
+              f"({payload['throughput_per_s']:.1f}/s achieved); shed "
+              f"{shed['total']} (overloaded {shed['overloaded']}, "
+              f"draining {shed['draining']}); "
+              f"errors {sum(payload['errors'].values())}")
+        if lat["count"]:
+            print(f"  latency p50 {lat['p50'] * 1000:.1f} ms / "
+                  f"p95 {lat['p95'] * 1000:.1f} ms / "
+                  f"p99 {lat['p99'] * 1000:.1f} ms "
+                  f"(max {lat['max'] * 1000:.1f} ms)")
+    print(f"wrote {args.out}")
+    return 0
 
 
 def cmd_run(args) -> int:
@@ -530,6 +600,12 @@ def _run_backend(args) -> int:
     if config.supervise is not None and args.backend == "sim":
         raise CLIError("--supervise applies to the live backends only "
                        "(the simulator has nothing to supervise)")
+    if config.live_trace and args.backend != "actors":
+        raise CLIError("--trace-live applies to the actors backend "
+                       "only (use --backend actors; 'repro profile' "
+                       "exports modeled sim timelines)")
+    if getattr(args, "trace_out", None) and not config.live_trace:
+        raise CLIError("--trace-out requires --trace-live")
     chaos = _chaos_policy(args)
     if chaos is not None:
         # Bound the per-cycle deadline so an injected wedge surfaces
@@ -571,10 +647,14 @@ def _run_backend(args) -> int:
     if live:
         # Every live run is cross-checked against the model: same
         # activation counts, message counts and fire sequence.
-        reference = exec_run(trace, config, backend="sim")
+        reference = exec_run(trace, config.replace(live_trace=False),
+                             backend="sim")
         if match_signature(reference) != match_signature(outcome):
             raise CLIError(f"{args.backend} run diverged from the "
                            f"simulator on {trace.name}")
+    trace_info = None
+    if config.live_trace:
+        trace_info = _export_live_trace(args, trace, outcome)
     result = outcome.result
     n_fires = sum(len(f) for f in outcome.fires)
     if args.json:
@@ -597,7 +677,9 @@ def _run_backend(args) -> int:
             payload["sessions"] = args.sessions
         if args.backend == "sim":
             payload["total_us"] = result.total_us
-        print(json.dumps(payload, indent=2))
+        if trace_info is not None:
+            payload["live_trace"] = trace_info
+        _print_json(payload)
         return 0
     print(f"{trace.name} on backend {args.backend}: "
           f"{result.n_cycles} cycles, {result.n_messages} messages, "
@@ -620,7 +702,43 @@ def _run_backend(args) -> int:
         elif config.supervise is not None:
             print("  supervised: heartbeats, deadlines, "
                   "checkpoint-replay restarts")
+        if trace_info is not None:
+            print(f"  live trace: {trace_info['spans']} spans over "
+                  f"{trace_info['cycles']} committed cycles, "
+                  f"reconciled against the match counters; written to "
+                  f"{trace_info['path']} "
+                  f"(load in https://ui.perfetto.dev)")
+            for line in trace_info["findings"]:
+                print(f"    {line}")
     return 0
+
+
+def _export_live_trace(args, trace, outcome) -> dict:
+    """Write, reconcile and summarize a ``--trace-live`` run's merged
+    timeline; returns the JSON-ready ``live_trace`` payload."""
+    from .analysis import diagnose_live
+    from .obs.trace import reconcile_live, write_chrome_trace_live
+    timeline = outcome.live
+    if timeline is None:
+        raise CLIError("--trace-live produced no timeline "
+                       "(executor returned no live trace)")
+    try:
+        reconcile_live(timeline, outcome.result)
+    except ValueError as err:
+        raise CLIError(f"live trace failed reconciliation: {err}") \
+            from err
+    out = getattr(args, "trace_out", None) \
+        or f"{trace.name}-live-{args.transport}.trace.json"
+    with open(out, "w", encoding="utf-8") as stream:
+        write_chrome_trace_live(timeline, stream)
+    findings = [str(f) for f in diagnose_live(timeline)]
+    return {
+        "path": out,
+        "spans": len(timeline.spans),
+        "cycles": len(timeline.cycle_indices()),
+        "reconciled": True,
+        "findings": findings,
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -791,6 +909,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--overhead", type=int, default=8,
                    help="overhead setting for the measured attribution "
                         "(default 8)")
+    p.add_argument("--live", action="store_true",
+                   help="also run the actors backend with live "
+                        "tracing and attribute the measured (wall-"
+                        "clock) idle time — same categories and "
+                        "remedies as the simulated attribution")
     p.set_defaults(fn=cmd_diagnose)
 
     p = sub.add_parser("trace", help="write a section trace to a file",
@@ -881,10 +1004,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chaos-seed", type=int, default=None, metavar="N",
                    help="seed of the deterministic chaos policy "
                         "(implies --chaos; same seed, same faults)")
+    p.add_argument("--trace-live", action="store_true",
+                   help="actors backend: distributed-trace the live "
+                        "run (per-actor flight recorders, span "
+                        "contexts on every data message, clock-"
+                        "aligned merge), reconcile the spans against "
+                        "the match counters and write a Chrome "
+                        "trace-event file; match results stay "
+                        "bit-identical to the untraced run")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="live-trace output path (default "
+                        "<trace>-live-<transport>.trace.json)")
     p.add_argument("--max-cycles", type=int, default=10_000)
     p.add_argument("--verbose", action="store_true",
                    help="list every production firing (OPS5 mode)")
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "loadtest",
+        help="open-loop load test of the served backend",
+        description="Offer N sessions to a served-backend server on "
+                    "an open-loop (Poisson) arrival schedule at rate "
+                    "sessions/duration, seeded and reproducible, and "
+                    "measure what the server achieves: throughput, "
+                    "exact client-observed latency quantiles "
+                    "(p50/p95/p99) and shed counts split by reason. "
+                    "Writes the full payload to --out "
+                    "(BENCH_served.json).",
+        parents=[verb, jsonp])
+    p.add_argument("--sessions", type=positive_int, default=64,
+                   metavar="N",
+                   help="sessions to offer (default 64)")
+    p.add_argument("--duration", type=float, default=5.0, metavar="S",
+                   help="seconds to spread the arrivals over "
+                        "(default 5; offered rate = sessions/duration)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="arrival-schedule seed (default 0)")
+    p.add_argument("--procs", type=int, default=2,
+                   help="match actors per session (default 2)")
+    p.add_argument("--max-sessions", type=positive_int, default=32,
+                   metavar="N",
+                   help="server concurrency limit (default 32)")
+    p.add_argument("--max-pending", type=positive_int, default=None,
+                   metavar="N",
+                   help="shed high-water mark (default "
+                        "4 x max-sessions)")
+    p.add_argument("--out", default="BENCH_served.json", metavar="PATH",
+                   help="bench payload file (default BENCH_served.json)")
+    p.set_defaults(fn=cmd_loadtest)
 
     p = sub.add_parser(
         "check",

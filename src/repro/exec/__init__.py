@@ -28,6 +28,7 @@ from .errors import (ENV_TIMEOUT, ExecutorCrashed, ExecutorError,
                      ExecutorWedged, ProtocolViolation,
                      RestartsExhausted, SessionOverloaded,
                      exec_timeout_s)
+from .loadtest import arrival_offsets, run_loadtest
 from .plan import (CONTROL, ActorCyclePlan, CyclePlan, MatchActorCore,
                    build_plans, expected_fires)
 from .served import SessionServer, ServedExecutor
@@ -94,12 +95,14 @@ __all__ = [
     "SessionServer",
     "SimExecutor",
     "SupervisePolicy",
+    "arrival_offsets",
     "build_plans",
     "exec_timeout_s",
     "expected_fires",
     "get_executor",
     "match_signature",
     "run",
+    "run_loadtest",
     "run_section_async",
     "run_supervised_async",
     "run_supervised_mp",

@@ -28,33 +28,50 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..mpc.config import RunConfig, SupervisePolicy
 from ..mpc.metrics import SimResult
 from ..trace.events import SectionTrace
 from .base import FireSet, RunHandle, RunResult
 from .chaos import ChaosPolicy
-from .errors import ExecutorCrashed
+from .errors import ExecutorCrashed, ExecutorError
 from .plan import (CONTROL, CycleAccumulator, MatchActorCore,
                    build_plans)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..obs.trace import LiveTraceCollector
 
 #: Transports accepted by :class:`ActorExecutor`.
 TRANSPORTS = ("asyncio", "process")
 
 
-async def run_section_async(trace: SectionTrace, config: RunConfig
+async def run_section_async(trace: SectionTrace, config: RunConfig,
+                            collector: Optional[
+                                "LiveTraceCollector"] = None,
                             ) -> Tuple[SimResult, List[FireSet], float]:
     """Run *trace* on asyncio actors; ``(result, fires, wall_s)``.
 
     Usable directly from an existing event loop — the served backend
     runs many of these concurrently on one loop, each with its own
     queues and actor cores (per-session sharded working memory).
+
+    With a :class:`~repro.obs.trace.LiveTraceCollector` the run is
+    traced: data messages carry a ``(sender, send_ts)`` context, each
+    actor records match/send/barrier spans into a flight recorder
+    drained over the control queue before every barrier reply, and the
+    control loop records one cycle span per committed cycle.  With
+    ``collector=None`` (the default) this function is byte-for-byte
+    the untraced protocol — no context on messages, no recorders.
     """
     plans = build_plans(trace, config)
     n_procs = config.n_procs
     inboxes = [asyncio.Queue() for _ in range(n_procs)]
     control_q: asyncio.Queue = asyncio.Queue()
+    traced = collector is not None
+    if traced:
+        from ..obs.trace import (LIVE_BARRIER, LIVE_CYCLE, LIVE_MATCH,
+                                 LIVE_SEND, FlightRecorder)
 
     async def actor_main(actor_id: int) -> None:
         core = MatchActorCore(actor_id, config)
@@ -83,7 +100,57 @@ async def run_section_async(trace: SectionTrace, config: RunConfig
         except Exception as err:  # surface instead of hanging control
             control_q.put_nowait(("actor_error", actor_id, repr(err)))
 
-    tasks = [asyncio.create_task(actor_main(i)) for i in range(n_procs)]
+    async def actor_main_traced(actor_id: int) -> None:
+        core = MatchActorCore(actor_id, config)
+        recorder = FlightRecorder(actor_id)
+        inbox = inboxes[actor_id]
+        cycle = 0
+        last_done = recorder.perf_base
+        try:
+            while True:
+                message = await inbox.get()
+                kind = message[0]
+                now = time.perf_counter()
+                if kind == "shutdown":
+                    control_q.put_nowait(recorder.drain())
+                    return
+                if kind == "sync":
+                    recorder.record(LIVE_BARRIER, cycle, last_done, now)
+                    control_q.put_nowait(recorder.drain())
+                    control_q.put_nowait(("stats", actor_id,
+                                          core.on_sync()))
+                    continue
+                if kind == "cycle":
+                    cycle = message[2]
+                    ctx = message[3]
+                    out, processed = core.on_cycle(message[1])
+                else:  # "token"
+                    ctx = message[2]
+                    out, processed = core.on_token(message[1])
+                done = time.perf_counter()
+                recorder.record(
+                    LIVE_MATCH, cycle, now, done, n=processed,
+                    act_id=(message[1] if kind == "token" else -1),
+                    src=ctx[0], sent_s=ctx[1], busy_us=core.busy_us)
+                if out:
+                    for dst, msg in out:
+                        stamped = msg + ((actor_id,
+                                          time.perf_counter()),)
+                        if dst == CONTROL:
+                            control_q.put_nowait(stamped)
+                        else:
+                            inboxes[dst].put_nowait(stamped)
+                    recorder.record(LIVE_SEND, cycle, done,
+                                    time.perf_counter(), n=len(out))
+                last_done = time.perf_counter()
+                if processed:
+                    control_q.put_nowait(("processed", processed))
+        except Exception as err:  # surface instead of hanging control
+            control_q.put_nowait(recorder.drain())
+            control_q.put_nowait(("actor_error", actor_id, repr(err)))
+
+    main = actor_main_traced if traced else actor_main
+    tasks = [asyncio.create_task(main(i)) for i in range(n_procs)]
     result = SimResult(trace_name=trace.name, n_procs=n_procs)
     fires: List[FireSet] = []
     section_start = time.perf_counter()
@@ -92,13 +159,21 @@ async def run_section_async(trace: SectionTrace, config: RunConfig
             cycle_start = time.perf_counter()
             accumulator = CycleAccumulator(plan, config)
             for i in range(n_procs):
-                inboxes[i].put_nowait(("cycle", plan.per_actor[i]))
+                if traced:
+                    inboxes[i].put_nowait(
+                        ("cycle", plan.per_actor[i], plan.index,
+                         (CONTROL, time.perf_counter())))
+                else:
+                    inboxes[i].put_nowait(("cycle", plan.per_actor[i]))
             while not accumulator.done:
                 message = await control_q.get()
                 if message[0] == "actor_error":
                     raise ExecutorCrashed(
                         f"match actor {message[1]} failed: {message[2]}",
                         actor=message[1], cycle=plan.index)
+                if traced and message[0] == "spans":
+                    collector.add_drain(message)
+                    continue
                 accumulator.note(message)
             for i in range(n_procs):
                 inboxes[i].put_nowait(("sync",))
@@ -113,16 +188,28 @@ async def run_section_async(trace: SectionTrace, config: RunConfig
                     raise ExecutorCrashed(
                         f"match actor {message[1]} failed: {message[2]}",
                         actor=message[1], cycle=plan.index)
+                elif traced and message[0] == "spans":
+                    collector.add_drain(message)
                 else:
                     accumulator.note(message)
             wall_s = time.perf_counter() - cycle_start
             cycle_result, fired = accumulator.finish(stats, wall_s)
+            if traced:
+                collector.recorder.record(
+                    LIVE_CYCLE, plan.index, cycle_start,
+                    time.perf_counter(), n=cycle_result.n_messages)
+                collector.commit(plan.index, 0)
             result.cycles.append(cycle_result)
             fires.append(fired)
     finally:
         for i in range(n_procs):
             inboxes[i].put_nowait(("shutdown",))
         await asyncio.gather(*tasks, return_exceptions=True)
+        if traced:
+            while not control_q.empty():
+                message = control_q.get_nowait()
+                if message[0] == "spans":
+                    collector.add_drain(message)
     return result, fires, time.perf_counter() - section_start
 
 
@@ -173,21 +260,41 @@ class ActorExecutor:
         supervised = config.supervise is not None
 
         def thunk() -> RunResult:
-            if supervised:
-                from .supervise import (run_supervised_async,
-                                        run_supervised_mp)
-                if self.transport == "process":
-                    result, fires, wall_s = run_supervised_mp(
-                        trace, config, chaos)
+            collector = None
+            if config.live_trace:
+                from ..obs.trace import LiveTraceCollector
+                collector = LiveTraceCollector(
+                    trace.name, config.n_procs, self.transport)
+            try:
+                if supervised:
+                    from .supervise import (run_supervised_async,
+                                            run_supervised_mp)
+                    if self.transport == "process":
+                        result, fires, wall_s = run_supervised_mp(
+                            trace, config, chaos, collector=collector)
+                    else:
+                        result, fires, wall_s = asyncio.run(
+                            run_supervised_async(trace, config, chaos,
+                                                 collector=collector))
+                elif self.transport == "process":
+                    from .mp import run_section_mp
+                    result, fires, wall_s = run_section_mp(
+                        trace, config, collector=collector)
                 else:
                     result, fires, wall_s = asyncio.run(
-                        run_supervised_async(trace, config, chaos))
-            elif self.transport == "process":
-                from .mp import run_section_mp
-                result, fires, wall_s = run_section_mp(trace, config)
-            else:
-                result, fires, wall_s = asyncio.run(
-                    run_section_async(trace, config))
+                        run_section_async(trace, config,
+                                          collector=collector))
+            except ExecutorError as err:
+                if collector is not None:
+                    from ..obs.trace import dump_flight
+                    from ..obs import get_logger, log_event
+                    path = dump_flight(collector,
+                                       reason=type(err).__name__)
+                    log_event(get_logger("repro.exec.actors"),
+                              "trace_live.dump", path=path,
+                              reason=type(err).__name__)
+                raise
+            live = collector.build() if collector is not None else None
             return RunResult(backend=self.name, result=result,
-                             fires=fires, wall_s=wall_s)
+                             fires=fires, wall_s=wall_s, live=live)
         return RunHandle(thunk)

@@ -41,12 +41,15 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Protocol, Tuple, \
-    runtime_checkable
+from typing import TYPE_CHECKING, Callable, List, Optional, Protocol, \
+    Tuple, runtime_checkable
 
 from ..mpc.config import RunConfig
 from ..mpc.metrics import SimResult
 from ..trace.events import SectionTrace
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..obs.trace import LiveTimeline
 
 #: One cycle's conflict-set deliveries: sorted activation ids.
 FireSet = Tuple[int, ...]
@@ -67,6 +70,11 @@ class RunResult:
     fires: List[FireSet]
     #: Measured wall-clock seconds for the whole run.
     wall_s: float
+    #: Merged flight-recorder timeline
+    #: (:class:`~repro.obs.trace.LiveTimeline`) when the run was traced
+    #: (``RunConfig.live_trace`` on the ``actors`` backend); ``None``
+    #: otherwise.
+    live: Optional["LiveTimeline"] = None
 
     @property
     def total_us(self) -> float:

@@ -17,7 +17,7 @@ from __future__ import annotations
 import multiprocessing
 import queue as queue_mod
 import time
-from typing import List, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..mpc.config import RunConfig
 from ..mpc.metrics import SimResult
@@ -26,6 +26,9 @@ from .base import FireSet
 from .errors import (DEFAULT_TIMEOUT_S, ExecutorCrashed, ExecutorWedged,
                      exec_timeout_s)
 from .plan import CONTROL, CycleAccumulator, MatchActorCore, build_plans
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..obs.trace import LiveTraceCollector
 
 #: Default seconds the control process waits for any actor message
 #: before declaring the run wedged (an actor died without reporting).
@@ -41,8 +44,11 @@ def _mp_context():
 
 
 def _actor_process(actor_id: int, config: RunConfig,
-                   inboxes, control_q) -> None:
+                   inboxes, control_q, traced: bool = False) -> None:
     """Child-process main loop: one match actor until shutdown."""
+    if traced:
+        _traced_actor_process(actor_id, config, inboxes, control_q)
+        return
     core = MatchActorCore(actor_id, config)
     inbox = inboxes[actor_id]
     try:
@@ -69,6 +75,70 @@ def _actor_process(actor_id: int, config: RunConfig,
         control_q.put(("actor_error", actor_id, repr(err)))
 
 
+def _traced_actor_process(actor_id: int, config: RunConfig,
+                          inboxes, control_q,
+                          generation: int = 0) -> None:
+    """The flight-recorded twin of :func:`_actor_process`.
+
+    Same protocol and counters; additionally records match/send/
+    barrier spans into a per-process :class:`~repro.obs.trace
+    .FlightRecorder` drained over the control queue before every
+    barrier ``stats`` reply (FIFO order guarantees the coordinator has
+    a cycle's spans before it closes the cycle), stamps every outgoing
+    data message with a ``(sender, send_ts)`` context, and expects one
+    on everything it receives.
+    """
+    from ..obs.trace import (LIVE_BARRIER, LIVE_MATCH, LIVE_SEND,
+                             FlightRecorder)
+    core = MatchActorCore(actor_id, config)
+    recorder = FlightRecorder(actor_id, generation)
+    inbox = inboxes[actor_id]
+    cycle = 0
+    last_done = recorder.perf_base
+    try:
+        while True:
+            message = inbox.get()
+            kind = message[0]
+            now = time.perf_counter()
+            if kind == "shutdown":
+                control_q.put(recorder.drain())
+                return
+            if kind == "sync":
+                recorder.record(LIVE_BARRIER, cycle, last_done, now)
+                control_q.put(recorder.drain())
+                control_q.put(("stats", actor_id, core.on_sync()))
+                continue
+            if kind == "cycle":
+                cycle = message[2]
+                ctx = message[3]
+                out, processed = core.on_cycle(message[1])
+            else:  # "token"
+                ctx = message[2]
+                out, processed = core.on_token(message[1])
+            done = time.perf_counter()
+            recorder.record(
+                LIVE_MATCH, cycle, now, done, n=processed,
+                act_id=(message[1] if kind == "token" else -1),
+                src=ctx[0], sent_s=ctx[1], busy_us=core.busy_us)
+            if out:
+                for dst, msg in out:
+                    stamped = msg + ((actor_id, time.perf_counter()),)
+                    if dst == CONTROL:
+                        control_q.put(stamped)
+                    else:
+                        inboxes[dst].put(stamped)
+                recorder.record(LIVE_SEND, cycle, done,
+                                time.perf_counter(), n=len(out))
+            last_done = time.perf_counter()
+            if processed:
+                control_q.put(("processed", processed))
+    except Exception as err:  # surface instead of wedging control
+        try:
+            control_q.put(recorder.drain())
+        finally:
+            control_q.put(("actor_error", actor_id, repr(err)))
+
+
 def _get_control(control_q):
     timeout_s = exec_timeout_s(CONTROL_TIMEOUT_S)
     try:
@@ -79,17 +149,27 @@ def _get_control(control_q):
             f"{timeout_s:g}s", waited_s=timeout_s) from None
 
 
-def run_section_mp(trace: SectionTrace, config: RunConfig
+def run_section_mp(trace: SectionTrace, config: RunConfig,
+                   collector: Optional["LiveTraceCollector"] = None,
                    ) -> Tuple[SimResult, List[FireSet], float]:
-    """Run *trace* on one worker process per match actor."""
+    """Run *trace* on one worker process per match actor.
+
+    With a :class:`~repro.obs.trace.LiveTraceCollector` the workers
+    run flight-recorded (:func:`_traced_actor_process`) and the
+    control loop merges their drains; with ``collector=None`` the
+    untraced loop runs unchanged.
+    """
     plans = build_plans(trace, config)
     n_procs = config.n_procs
     ctx = _mp_context()
     inboxes = [ctx.Queue() for _ in range(n_procs)]
     control_q = ctx.Queue()
+    traced = collector is not None
+    if traced:
+        from ..obs.trace import LIVE_CYCLE
     workers = [
         ctx.Process(target=_actor_process,
-                    args=(i, config, inboxes, control_q),
+                    args=(i, config, inboxes, control_q, traced),
                     daemon=True)
         for i in range(n_procs)
     ]
@@ -104,13 +184,21 @@ def run_section_mp(trace: SectionTrace, config: RunConfig
             cycle_start = time.perf_counter()
             accumulator = CycleAccumulator(plan, config)
             for i in range(n_procs):
-                inboxes[i].put(("cycle", plan.per_actor[i]))
+                if traced:
+                    inboxes[i].put(
+                        ("cycle", plan.per_actor[i], plan.index,
+                         (CONTROL, time.perf_counter())))
+                else:
+                    inboxes[i].put(("cycle", plan.per_actor[i]))
             while not accumulator.done:
                 message = _get_control(control_q)
                 if message[0] == "actor_error":
                     raise ExecutorCrashed(
                         f"match actor {message[1]} failed: {message[2]}",
                         actor=message[1], cycle=plan.index)
+                if traced and message[0] == "spans":
+                    collector.add_drain(message)
+                    continue
                 accumulator.note(message)
             for i in range(n_procs):
                 inboxes[i].put(("sync",))
@@ -125,10 +213,17 @@ def run_section_mp(trace: SectionTrace, config: RunConfig
                     raise ExecutorCrashed(
                         f"match actor {message[1]} failed: {message[2]}",
                         actor=message[1], cycle=plan.index)
+                elif traced and message[0] == "spans":
+                    collector.add_drain(message)
                 else:
                     accumulator.note(message)
             wall_s = time.perf_counter() - cycle_start
             cycle_result, fired = accumulator.finish(stats, wall_s)
+            if traced:
+                collector.recorder.record(
+                    LIVE_CYCLE, plan.index, cycle_start,
+                    time.perf_counter(), n=cycle_result.n_messages)
+                collector.commit(plan.index, 0)
             result.cycles.append(cycle_result)
             fires.append(fired)
     finally:
@@ -139,6 +234,17 @@ def run_section_mp(trace: SectionTrace, config: RunConfig
             if worker.is_alive():
                 worker.terminate()
                 worker.join(timeout=10.0)
+        if traced:
+            # The workers flush a final (usually empty) drain on
+            # shutdown; collect what arrives promptly so dropped
+            # counters are complete, without risking a hang.
+            try:
+                while True:
+                    message = control_q.get(timeout=0.2)
+                    if message[0] == "spans":
+                        collector.add_drain(message)
+            except (queue_mod.Empty, EOFError, OSError):
+                pass
         for q in inboxes + [control_q]:
             q.close()
     return result, fires, time.perf_counter() - section_start

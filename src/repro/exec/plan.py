@@ -42,6 +42,20 @@ message               direction                      counted?
 ``("stats", i, s)``   match actor → control          no (barrier)
 ``("shutdown",)``     control → every match actor    no
 ====================  =============================  ==============
+
+When a run is live-traced (``RunConfig(live_trace=True)``, see
+:mod:`repro.obs.trace`), every *data* message additionally carries a
+span context ``(sender_id, send_perf_ts)`` appended as one trailing
+element: the cycle broadcast becomes ``("cycle", plan, index, ctx)``
+and token/fire messages become ``("token", act, ctx)`` / ``("fire",
+act, ctx)``.  One extra message flows per actor per barrier: a
+``("spans", ...)`` flight-recorder drain, sent *before* the ``stats``
+reply so FIFO ordering guarantees the coordinator holds a cycle's
+spans before it closes the cycle.  None of this changes what is
+counted: contexts ride on already-counted messages, ``spans`` is
+bookkeeping like ``stats``, and the cores never see either
+(:meth:`CycleAccumulator.note` tolerates the trailing context on
+``fire``; control loops intercept ``spans`` before calling it).
 """
 
 from __future__ import annotations

@@ -25,10 +25,18 @@ hanging the client.  An optional TCP front-end
 answers with one JSON line of result counters — enough to drive a
 served deployment from anything that can speak newline-delimited JSON.
 The front-end also serves health probes (``{"op": "health"}`` /
-``{"op": "ready"}``) reporting active/pending load and drain state,
-and :meth:`SessionServer.stop` performs a *draining* shutdown by
-default: stop accepting, finish in-flight cycles (deadline-bounded,
-``REPRO_EXEC_TIMEOUT_S``-overridable), then tear the loop down.
+``{"op": "ready"}``) reporting uptime, active/pending load,
+session/shed totals and drain state, plus an ``{"op": "stats"}``
+probe returning the full process metrics snapshot; a companion
+:meth:`SessionServer.serve_metrics` HTTP endpoint exposes the same
+registry in Prometheus text format for scrapers (stdlib
+``http.server``, no dependencies).  Completed sessions feed a
+``served.session_latency_s`` histogram, so latency quantiles (p50/
+p95/p99) are always one probe away — ``repro loadtest`` builds its
+report from exactly these instruments.  :meth:`SessionServer.stop`
+performs a *draining* shutdown by default: stop accepting, finish
+in-flight cycles (deadline-bounded, ``REPRO_EXEC_TIMEOUT_S``-
+overridable), then tear the loop down.
 """
 
 from __future__ import annotations
@@ -37,10 +45,11 @@ import asyncio
 import concurrent.futures
 import json
 import threading
+import time
 from typing import Callable, Optional
 
 from ..mpc.config import OVERHEADS, RunConfig, SupervisePolicy
-from ..obs import get_logger, get_registry, log_event
+from ..obs import get_logger, get_registry, log_event, prometheus_text
 from ..trace.events import SectionTrace
 from .actors import _check_supported, run_section_async
 from .base import RunHandle, RunResult
@@ -85,11 +94,18 @@ class SessionServer:
         self._thread: Optional[threading.Thread] = None
         self._semaphore: Optional[asyncio.Semaphore] = None
         self._tcp_server = None
+        self._metrics_server = None
         self._lock = threading.Lock()
+        self._started_at: Optional[float] = None
         # Load bookkeeping, mutated only on the loop thread.
         self._active = 0
         self._pending = 0
         self._draining = False
+        self._sessions_started = 0
+        self._sessions_completed = 0
+        self._sessions_failed = 0
+        self._shed_overloaded = 0
+        self._shed_draining = 0
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -106,6 +122,11 @@ class SessionServer:
                 self._semaphore = asyncio.Semaphore(self.max_sessions)
                 self._active = self._pending = 0
                 self._draining = False
+                self._sessions_started = 0
+                self._sessions_completed = 0
+                self._sessions_failed = 0
+                self._shed_overloaded = self._shed_draining = 0
+                self._started_at = time.monotonic()
                 started.set()
                 try:
                     loop.run_forever()
@@ -137,6 +158,11 @@ class SessionServer:
             # sessions submitted before stop() may not have entered it
             # yet, and must drain normally rather than crash.
             self._thread = self._loop = None
+        metrics = self._metrics_server
+        self._metrics_server = None
+        if metrics is not None:
+            metrics.shutdown()
+            metrics.server_close()
         if loop is None or thread is None:
             return
         server = self._tcp_server
@@ -166,6 +192,10 @@ class SessionServer:
         """Open a session for ``(trace, config)``; future of the raw
         ``(SimResult, fires, wall_s)`` triple."""
         _check_supported(config)
+        if config.live_trace:
+            raise ValueError(
+                "the served backend does not support live tracing; "
+                "use backend 'actors' with --trace-live")
         self.start()
         return asyncio.run_coroutine_threadsafe(
             self._session(trace, config), self._loop)
@@ -174,17 +204,32 @@ class SessionServer:
         self._shed_check()
         self._pending += 1
         acquired = False
+        queued_at = time.perf_counter()
         try:
             async with self._semaphore:
                 self._pending -= 1
                 acquired = True
                 self._active += 1
+                self._sessions_started += 1
+                get_registry().counter("served.sessions").inc()
                 try:
                     if config.supervise is not None:
-                        return await run_supervised_async(trace, config)
-                    return await run_section_async(trace, config)
+                        value = await run_supervised_async(trace, config)
+                    else:
+                        value = await run_section_async(trace, config)
+                except BaseException:
+                    self._sessions_failed += 1
+                    get_registry().counter("served.failed").inc()
+                    raise
                 finally:
                     self._active -= 1
+                self._sessions_completed += 1
+                get_registry().counter("served.completed").inc()
+                # Queue wait included: this is the latency a client sees.
+                get_registry().histogram(
+                    "served.session_latency_s").observe(
+                        time.perf_counter() - queued_at)
+                return value
         finally:
             if not acquired:
                 self._pending -= 1
@@ -193,13 +238,17 @@ class SessionServer:
         """Raise :class:`SessionOverloaded` when this session must be
         shed (draining shutdown, or queue past the high-water mark)."""
         if self._draining:
+            self._shed_draining += 1
             get_registry().counter("served.shed").inc()
+            get_registry().counter("served.shed.draining").inc()
             log_event(_LOG, "served.shed", reason="draining")
             raise SessionOverloaded(
                 "server is draining; no new sessions accepted",
                 code="draining")
         if self._pending >= self.max_pending:
+            self._shed_overloaded += 1
             get_registry().counter("served.shed").inc()
+            get_registry().counter("served.shed.overloaded").inc()
             log_event(_LOG, "served.shed", reason="overloaded",
                       pending=self._pending, active=self._active)
             raise SessionOverloaded(
@@ -210,12 +259,25 @@ class SessionServer:
     @property
     def load(self) -> dict:
         """A point-in-time load snapshot (health-probe payload)."""
+        uptime = (time.monotonic() - self._started_at
+                  if self._started_at is not None else 0.0)
         return {
             "active": self._active,
             "pending": self._pending,
             "max_sessions": self.max_sessions,
             "max_pending": self.max_pending,
             "draining": self._draining,
+            "uptime_s": round(uptime, 3),
+            "sessions": {
+                "started": self._sessions_started,
+                "completed": self._sessions_completed,
+                "failed": self._sessions_failed,
+            },
+            "shed": {
+                "total": self._shed_overloaded + self._shed_draining,
+                "overloaded": self._shed_overloaded,
+                "draining": self._shed_draining,
+            },
         }
 
     # -- TCP front-end ------------------------------------------------------
@@ -266,6 +328,9 @@ class SessionServer:
             op = request.get("op")
             if op in ("health", "ready"):
                 return self._probe_reply(op)
+            if op == "stats":
+                return {"ok": True, "op": "stats", "load": self.load,
+                        "obs": get_registry().snapshot()}
             trace = loader(request["section"],
                            int(request.get("seed", 0)))
             overhead = int(request.get("overhead", 0))
@@ -309,6 +374,57 @@ class SessionServer:
         ready = (not load["draining"]
                  and load["pending"] < load["max_pending"])
         return {"ok": True, "op": "ready", "ready": ready, **load}
+
+    # -- metrics scrape endpoint --------------------------------------------
+
+    def serve_metrics(self, host: str = "127.0.0.1",
+                      port: int = 0) -> int:
+        """Expose the metrics registry over HTTP; returns the bound
+        port (``port=0`` picks a free one).
+
+        ``GET /metrics`` answers in the Prometheus text exposition
+        format (:func:`~repro.obs.metrics.prometheus_text`); ``GET
+        /health`` and ``GET /ready`` answer the same JSON payloads as
+        the TCP probes.  Runs on a stdlib :class:`http.server
+        .ThreadingHTTPServer` in a daemon thread — no dependencies,
+        torn down by :meth:`stop`.
+        """
+        from http.server import (BaseHTTPRequestHandler,
+                                 ThreadingHTTPServer)
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:
+                if self.path.rstrip("/") in ("", "/metrics"):
+                    body = prometheus_text(get_registry()).encode()
+                    ctype = ("text/plain; version=0.0.4; "
+                             "charset=utf-8")
+                elif self.path.rstrip("/") in ("/health", "/ready"):
+                    reply = server._probe_reply(
+                        self.path.strip("/"))
+                    body = json.dumps(reply).encode() + b"\n"
+                    ctype = "application/json"
+                else:
+                    self.send_error(404)
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:
+                pass  # routed through repro logging, not stderr
+
+        self.start()
+        httpd = ThreadingHTTPServer((host, port), Handler)
+        self._metrics_server = httpd
+        threading.Thread(target=httpd.serve_forever,
+                         name="repro-metrics-server",
+                         daemon=True).start()
+        port = httpd.server_address[1]
+        log_event(_LOG, "served.metrics", host=host, port=port)
+        return port
 
     # -- shutdown -----------------------------------------------------------
 

@@ -26,6 +26,12 @@ class SimExecutor:
 
     def submit(self, trace: SectionTrace,
                config: RunConfig) -> RunHandle:
+        if config.live_trace:
+            raise ValueError(
+                "the sim backend has no live execution to trace; use "
+                "backend 'actors' with --trace-live (or 'repro "
+                "profile' for modeled timelines)")
+
         def thunk() -> RunResult:
             start = time.perf_counter()
             result = simulate_config(trace, config)

@@ -134,10 +134,12 @@ class _AsyncEngine:
     """
 
     def __init__(self, config: RunConfig,
-                 chaos: Optional[ChaosPolicy], generation: int) -> None:
+                 chaos: Optional[ChaosPolicy], generation: int,
+                 collector=None) -> None:
         self.config = config
         self.chaos = chaos
         self.generation = generation
+        self.collector = collector
         self.n_procs = config.n_procs
         self.inboxes: List[asyncio.Queue] = []
         self.control_q: asyncio.Queue = asyncio.Queue()
@@ -159,6 +161,14 @@ class _AsyncEngine:
         if self.tasks:
             await asyncio.gather(*self.tasks, return_exceptions=True)
         self.tasks = []
+        if self.collector is not None:
+            # Salvage flight-recorder drains the dying generation
+            # flushed on cancellation — filtered from the committed
+            # timeline, but gold for post-mortem dumps.
+            while not self.control_q.empty():
+                message = self.control_q.get_nowait()
+                if message[0] == "spans":
+                    self.collector.add_drain(message)
 
     def kill(self, actor_id: int) -> None:
         self.tasks[actor_id].cancel()
@@ -196,6 +206,12 @@ class _AsyncEngine:
         target.put_nowait(msg)
 
     async def _actor_main(self, actor_id: int) -> None:
+        traced = self.collector is not None
+        if traced:
+            from ..obs.trace import (LIVE_BARRIER, LIVE_MATCH,
+                                     LIVE_SEND, FlightRecorder)
+            recorder = FlightRecorder(actor_id, self.generation)
+            last_done = recorder.perf_base
         core = MatchActorCore(actor_id, self.config)
         inbox = self.inboxes[actor_id]
         cycle = 0
@@ -203,9 +219,16 @@ class _AsyncEngine:
             while True:
                 message = await inbox.get()
                 kind = message[0]
+                now = time.perf_counter()
                 if kind == "shutdown":
+                    if traced:
+                        self.control_q.put_nowait(recorder.drain())
                     return
                 if kind == "sync":
+                    if traced:
+                        recorder.record(LIVE_BARRIER, cycle,
+                                        last_done, now)
+                        self.control_q.put_nowait(recorder.drain())
                     self.control_q.put_nowait(("stats", actor_id,
                                                core.on_sync()))
                     continue
@@ -217,16 +240,40 @@ class _AsyncEngine:
                         if stall > 0.0:
                             get_registry().counter("chaos.stalls").inc()
                             await asyncio.sleep(stall)
+                            now = time.perf_counter()
                     out, processed = core.on_cycle(message[1])
                 else:  # "token"
                     out, processed = core.on_token(message[1])
-                for dst, msg in out:
-                    self._deliver(cycle, dst, msg)
+                if traced:
+                    ctx = message[3] if kind == "cycle" else message[2]
+                    done = time.perf_counter()
+                    recorder.record(
+                        LIVE_MATCH, cycle, now, done, n=processed,
+                        act_id=(message[1] if kind == "token" else -1),
+                        src=ctx[0], sent_s=ctx[1],
+                        busy_us=core.busy_us)
+                    if out:
+                        for dst, msg in out:
+                            self._deliver(
+                                cycle, dst,
+                                msg + ((actor_id,
+                                        time.perf_counter()),))
+                        recorder.record(LIVE_SEND, cycle, done,
+                                        time.perf_counter(),
+                                        n=len(out))
+                    last_done = time.perf_counter()
+                else:
+                    for dst, msg in out:
+                        self._deliver(cycle, dst, msg)
                 if processed:
                     self.control_q.put_nowait(("processed", processed))
         except asyncio.CancelledError:
+            if traced:
+                self.control_q.put_nowait(recorder.drain())
             raise
         except Exception as err:  # surface instead of hanging control
+            if traced:
+                self.control_q.put_nowait(recorder.drain())
             self.control_q.put_nowait(("actor_error", actor_id,
                                        repr(err)))
 
@@ -269,9 +316,15 @@ class _AsyncEngine:
                     log_event(_LOG, "chaos.kill", cycle=plan.index,
                               actor=i, attempt=attempt)
                     self.kill(i)
+        traced = self.collector is not None
         for i in range(self.n_procs):
-            self.inboxes[i].put_nowait(
-                ("cycle", plan.per_actor[i], plan.index))
+            if traced:
+                self.inboxes[i].put_nowait(
+                    ("cycle", plan.per_actor[i], plan.index,
+                     (CONTROL, time.perf_counter())))
+            else:
+                self.inboxes[i].put_nowait(
+                    ("cycle", plan.per_actor[i], plan.index))
         while not accumulator.done:
             message = await self._get_control(
                 plan.index, cycle_start, deadline_s, heartbeat_s)
@@ -279,6 +332,9 @@ class _AsyncEngine:
                 raise ExecutorCrashed(
                     f"match actor {message[1]} failed: {message[2]}",
                     actor=message[1], cycle=plan.index)
+            if traced and message[0] == "spans":
+                self.collector.add_drain(message)
+                continue
             accumulator.note(message)
         for i in range(self.n_procs):
             self.inboxes[i].put_nowait(("sync",))
@@ -294,6 +350,8 @@ class _AsyncEngine:
                 raise ExecutorCrashed(
                     f"match actor {message[1]} failed: {message[2]}",
                     actor=message[1], cycle=plan.index)
+            elif traced and message[0] == "spans":
+                self.collector.add_drain(message)
             else:
                 accumulator.note(message)
         wall_s = time.perf_counter() - cycle_start
@@ -301,7 +359,8 @@ class _AsyncEngine:
 
 
 async def run_supervised_async(trace: SectionTrace, config: RunConfig,
-                               chaos: Optional[ChaosPolicy] = None
+                               chaos: Optional[ChaosPolicy] = None,
+                               collector=None
                                ) -> Tuple[SimResult, List[FireSet],
                                           float]:
     """Run *trace* on supervised asyncio actors.
@@ -310,12 +369,21 @@ async def run_supervised_async(trace: SectionTrace, config: RunConfig,
     :func:`repro.exec.actors.run_section_async` (bit-identical with no
     chaos and no failures), plus heartbeat monitoring, per-cycle
     deadlines and checkpoint-replay restarts per
-    ``config.supervise``.
+    ``config.supervise``.  A
+    :class:`~repro.obs.trace.LiveTraceCollector` additionally records
+    the committed cycle spans plus ``restart`` (failure → respawned
+    engine) and ``checkpoint_replay`` (failed replay attempt) spans on
+    the coordinator row, and commits each cycle under the generation
+    that closed it, so actor spans of failed attempts are filtered
+    from the merged timeline.
     """
     plans = build_plans(trace, config)
     policy, chaos, deadline_s = _effective(config, chaos)
+    traced = collector is not None
+    if traced:
+        from ..obs.trace import LIVE_CYCLE, LIVE_REPLAY, LIVE_RESTART
     generation = 0
-    engine = _AsyncEngine(config, chaos, generation)
+    engine = _AsyncEngine(config, chaos, generation, collector)
     engine.start()
     result = SimResult(trace_name=trace.name, n_procs=config.n_procs)
     fires: List[FireSet] = []
@@ -324,12 +392,24 @@ async def run_supervised_async(trace: SectionTrace, config: RunConfig,
         for plan in plans:
             attempt = 0
             while True:
+                attempt_start = time.perf_counter()
                 try:
                     cycle_result, fired = await engine.run_cycle(
                         plan, attempt, deadline_s, policy.heartbeat_s)
+                    if traced:
+                        collector.recorder.record(
+                            LIVE_CYCLE, plan.index, attempt_start,
+                            time.perf_counter(),
+                            n=cycle_result.n_messages)
+                        collector.commit(plan.index, generation)
                     break
                 except RETRYABLE as err:
                     _count_failure(err)
+                    failed_at = time.perf_counter()
+                    if traced and attempt:
+                        collector.recorder.record(
+                            LIVE_REPLAY, plan.index, attempt_start,
+                            failed_at, n=attempt)
                     if attempt >= policy.max_restarts:
                         raise _give_up(plan, attempt, err) from err
                     await engine.stop()
@@ -339,8 +419,13 @@ async def run_supervised_async(trace: SectionTrace, config: RunConfig,
                     attempt += 1
                     generation += 1
                     _log_restart(plan, attempt, generation, err)
-                    engine = _AsyncEngine(config, chaos, generation)
+                    engine = _AsyncEngine(config, chaos, generation,
+                                          collector)
                     engine.start()
+                    if traced:
+                        collector.recorder.record(
+                            LIVE_RESTART, plan.index, failed_at,
+                            time.perf_counter(), n=attempt)
             result.cycles.append(cycle_result)
             fires.append(fired)
     finally:
@@ -356,8 +441,13 @@ async def run_supervised_async(trace: SectionTrace, config: RunConfig,
 def _supervised_actor_process(actor_id: int, config: RunConfig,
                               chaos: Optional[ChaosPolicy],
                               generation: int, inboxes,
-                              control_q) -> None:
+                              control_q, traced: bool = False) -> None:
     """Child-process main loop with chaos applied to outgoing data."""
+    if traced:
+        from ..obs.trace import (LIVE_BARRIER, LIVE_MATCH, LIVE_SEND,
+                                 FlightRecorder)
+        recorder = FlightRecorder(actor_id, generation)
+        last_done = recorder.perf_base
     core = MatchActorCore(actor_id, config)
     inbox = inboxes[actor_id]
 
@@ -382,9 +472,16 @@ def _supervised_actor_process(actor_id: int, config: RunConfig,
         while True:
             message = inbox.get()
             kind = message[0]
+            now = time.perf_counter()
             if kind == "shutdown":
+                if traced:
+                    control_q.put(recorder.drain())
                 return
             if kind == "sync":
+                if traced:
+                    recorder.record(LIVE_BARRIER, cycle, last_done,
+                                    now)
+                    control_q.put(recorder.drain())
                 control_q.put(("stats", actor_id, core.on_sync()))
                 continue
             if kind == "cycle":
@@ -393,14 +490,33 @@ def _supervised_actor_process(actor_id: int, config: RunConfig,
                     stall = chaos.stall_for(cycle, actor_id, generation)
                     if stall > 0.0:
                         time.sleep(stall)
+                        now = time.perf_counter()
                 out, processed = core.on_cycle(message[1])
             else:  # "token"
                 out, processed = core.on_token(message[1])
-            for dst, msg in out:
-                deliver(cycle, dst, msg)
+            if traced:
+                ctx = message[3] if kind == "cycle" else message[2]
+                done = time.perf_counter()
+                recorder.record(
+                    LIVE_MATCH, cycle, now, done, n=processed,
+                    act_id=(message[1] if kind == "token" else -1),
+                    src=ctx[0], sent_s=ctx[1], busy_us=core.busy_us)
+                if out:
+                    for dst, msg in out:
+                        deliver(cycle, dst,
+                                msg + ((actor_id,
+                                        time.perf_counter()),))
+                    recorder.record(LIVE_SEND, cycle, done,
+                                    time.perf_counter(), n=len(out))
+                last_done = time.perf_counter()
+            else:
+                for dst, msg in out:
+                    deliver(cycle, dst, msg)
             if processed:
                 control_q.put(("processed", processed))
     except Exception as err:  # surface instead of wedging control
+        if traced:
+            control_q.put(recorder.drain())
         control_q.put(("actor_error", actor_id, repr(err)))
 
 
@@ -408,11 +524,13 @@ class _MpEngine:
     """One generation of worker processes plus their queues."""
 
     def __init__(self, config: RunConfig,
-                 chaos: Optional[ChaosPolicy], generation: int) -> None:
+                 chaos: Optional[ChaosPolicy], generation: int,
+                 collector=None) -> None:
         from .mp import _mp_context
         self.config = config
         self.chaos = chaos
         self.generation = generation
+        self.collector = collector
         self.n_procs = config.n_procs
         self._ctx = _mp_context()
         self.inboxes: list = []
@@ -427,7 +545,8 @@ class _MpEngine:
             ctx.Process(target=_supervised_actor_process,
                         args=(i, self.config, self.chaos,
                               self.generation, self.inboxes,
-                              self.control_q),
+                              self.control_q,
+                              self.collector is not None),
                         daemon=True)
             for i in range(self.n_procs)
         ]
@@ -497,9 +616,15 @@ class _MpEngine:
                     log_event(_LOG, "chaos.kill", cycle=plan.index,
                               actor=i, attempt=attempt)
                     self.kill(i)
+        traced = self.collector is not None
         for i in range(self.n_procs):
-            self.inboxes[i].put(("cycle", plan.per_actor[i],
-                                 plan.index))
+            if traced:
+                self.inboxes[i].put(
+                    ("cycle", plan.per_actor[i], plan.index,
+                     (CONTROL, time.perf_counter())))
+            else:
+                self.inboxes[i].put(("cycle", plan.per_actor[i],
+                                     plan.index))
         while not accumulator.done:
             message = self._get_control(plan.index, cycle_start,
                                         deadline_s, heartbeat_s)
@@ -507,6 +632,9 @@ class _MpEngine:
                 raise ExecutorCrashed(
                     f"match actor {message[1]} failed: {message[2]}",
                     actor=message[1], cycle=plan.index)
+            if traced and message[0] == "spans":
+                self.collector.add_drain(message)
+                continue
             accumulator.note(message)
         for i in range(self.n_procs):
             self.inboxes[i].put(("sync",))
@@ -522,6 +650,8 @@ class _MpEngine:
                 raise ExecutorCrashed(
                     f"match actor {message[1]} failed: {message[2]}",
                     actor=message[1], cycle=plan.index)
+            elif traced and message[0] == "spans":
+                self.collector.add_drain(message)
             else:
                 accumulator.note(message)
         wall_s = time.perf_counter() - cycle_start
@@ -529,18 +659,23 @@ class _MpEngine:
 
 
 def run_supervised_mp(trace: SectionTrace, config: RunConfig,
-                      chaos: Optional[ChaosPolicy] = None
+                      chaos: Optional[ChaosPolicy] = None,
+                      collector=None
                       ) -> Tuple[SimResult, List[FireSet], float]:
     """Run *trace* on supervised worker processes.
 
     The process-transport twin of :func:`run_supervised_async`: same
     protocol, same counters, with real OS processes killed and
-    respawned on failure.
+    respawned on failure.  See there for the traced
+    (:class:`~repro.obs.trace.LiveTraceCollector`) behavior.
     """
     plans = build_plans(trace, config)
     policy, chaos, deadline_s = _effective(config, chaos)
+    traced = collector is not None
+    if traced:
+        from ..obs.trace import LIVE_CYCLE, LIVE_REPLAY, LIVE_RESTART
     generation = 0
-    engine = _MpEngine(config, chaos, generation)
+    engine = _MpEngine(config, chaos, generation, collector)
     engine.start()
     result = SimResult(trace_name=trace.name, n_procs=config.n_procs)
     fires: List[FireSet] = []
@@ -549,12 +684,24 @@ def run_supervised_mp(trace: SectionTrace, config: RunConfig,
         for plan in plans:
             attempt = 0
             while True:
+                attempt_start = time.perf_counter()
                 try:
                     cycle_result, fired = engine.run_cycle(
                         plan, attempt, deadline_s, policy.heartbeat_s)
+                    if traced:
+                        collector.recorder.record(
+                            LIVE_CYCLE, plan.index, attempt_start,
+                            time.perf_counter(),
+                            n=cycle_result.n_messages)
+                        collector.commit(plan.index, generation)
                     break
                 except RETRYABLE as err:
                     _count_failure(err)
+                    failed_at = time.perf_counter()
+                    if traced and attempt:
+                        collector.recorder.record(
+                            LIVE_REPLAY, plan.index, attempt_start,
+                            failed_at, n=attempt)
                     if attempt >= policy.max_restarts:
                         raise _give_up(plan, attempt, err) from err
                     engine.stop()
@@ -564,8 +711,13 @@ def run_supervised_mp(trace: SectionTrace, config: RunConfig,
                     attempt += 1
                     generation += 1
                     _log_restart(plan, attempt, generation, err)
-                    engine = _MpEngine(config, chaos, generation)
+                    engine = _MpEngine(config, chaos, generation,
+                                       collector)
                     engine.start()
+                    if traced:
+                        collector.recorder.record(
+                            LIVE_RESTART, plan.index, failed_at,
+                            time.perf_counter(), n=attempt)
             result.cycles.append(cycle_result)
             fires.append(fired)
     finally:

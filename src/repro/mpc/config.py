@@ -142,6 +142,16 @@ class RunConfig:
     #: :mod:`repro.exec.supervise`).  ``None`` runs unsupervised.  The
     #: discrete simulator ignores it.
     supervise: Optional[SupervisePolicy] = None
+    #: Record distributed spans on the live ``actors`` backend into
+    #: per-actor flight recorders, merged into a
+    #: :class:`~repro.obs.trace.LiveTimeline` on
+    #: :attr:`~repro.exec.base.RunResult.live` (see
+    #: :mod:`repro.obs.trace`).  Off by default; when off the untraced
+    #: code paths run unchanged, so match signatures and every counter
+    #: are bit-identical — pinned by the ``live_trace_invisible``
+    #: oracle.  The discrete simulator and the served backend refuse
+    #: it.
+    live_trace: bool = False
 
     def __post_init__(self) -> None:
         if self.n_procs < 1:
@@ -217,4 +227,5 @@ class RunConfig:
                                            False),
                    supervise=(SupervisePolicy()
                               if getattr(args, "supervise", False)
-                              else None))
+                              else None),
+                   live_trace=getattr(args, "trace_live", False))

@@ -349,6 +349,59 @@ class TestSuperviseAndChaosFlags:
                      "--section", "rubik"]) == 2
         assert "live backends only" in capsys.readouterr().err
 
+    def test_run_trace_live_writes_reconciled_trace(self, tmp_path,
+                                                    capsys):
+        import json as json_mod
+        out = tmp_path / "live.trace.json"
+        assert main(["run", "--backend", "actors", "--section",
+                     "rubik", "--procs", "2", "--trace-live",
+                     "--trace-out", str(out), "--json"]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["live_trace"]["reconciled"] is True
+        assert payload["live_trace"]["spans"] > 0
+        trace = json_mod.loads(out.read_text())
+        assert any(e.get("ph") == "X" for e in trace["traceEvents"])
+        assert payload["matches_simulator"] is True
+
+    def test_trace_live_requires_actors_backend(self, capsys):
+        assert main(["run", "--backend", "sim", "--trace-live",
+                     "--section", "rubik"]) == 2
+        assert "actors backend" in capsys.readouterr().err
+
+    def test_trace_out_requires_trace_live(self, capsys):
+        assert main(["run", "--backend", "actors", "--trace-out",
+                     "x.json", "--section", "rubik"]) == 2
+        assert "--trace-live" in capsys.readouterr().err
+
+    def test_json_payloads_carry_obs_snapshot(self, capsys):
+        import json as json_mod
+        assert main(["simulate", "--section", "rubik", "--procs", "2",
+                     "--json"]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert "obs" in payload and isinstance(payload["obs"], dict)
+
+    def test_loadtest_writes_bench_payload(self, tmp_path, capsys):
+        import json as json_mod
+        out = tmp_path / "BENCH_served.json"
+        assert main(["loadtest", "--sessions", "8", "--duration",
+                     "0.2", "--procs", "2", "--out", str(out)]) == 0
+        assert "latency p50" in capsys.readouterr().out
+        payload = json_mod.loads(out.read_text())
+        assert payload["bench"] == "served_loadtest"
+        assert payload["sessions"] == 8
+        assert payload["completed"] + payload["shed"]["total"] \
+            + sum(payload["errors"].values()) == 8
+        assert set(payload["latency_s"]) >= {"p50", "p95", "p99"}
+
+    def test_loadtest_rejects_bad_duration(self, capsys):
+        assert main(["loadtest", "--duration", "0"]) == 2
+        assert "--duration" in capsys.readouterr().err
+
+    def test_diagnose_live_attribution(self, capsys):
+        assert main(["diagnose", "--section", "rubik", "--procs", "2",
+                     "--live"]) == 0
+        assert "[live-idle]" in capsys.readouterr().out
+
     def test_check_only_filter(self, capsys):
         assert main(["check", "--only", "compressed_vs_exact_faults",
                      "--budget", "10"]) == 0

@@ -139,3 +139,95 @@ class TestTcpFrontEnd:
         assert "unknown section" in unknown["error"]
         assert not bad_overhead["ok"]
         assert "overhead" in bad_overhead["error"]
+
+
+class TestServedObservability:
+    """Satellite contract: a served deployment is probe-able — uptime,
+    session/shed totals, a full stats snapshot, latency quantiles and
+    a Prometheus scrape endpoint, all stdlib-only."""
+
+    def test_probes_carry_uptime_sessions_and_shed(self):
+        trace = rubik_section()
+        with SessionServer(max_sessions=4) as server:
+            server.submit(trace, RunConfig(n_procs=2)).result(
+                timeout=60)
+            health = server._probe_reply("health")
+        assert health["uptime_s"] >= 0.0
+        assert health["sessions"]["started"] == 1
+        assert health["sessions"]["completed"] == 1
+        assert health["sessions"]["failed"] == 0
+        assert health["shed"] == {"total": 0, "overloaded": 0,
+                                  "draining": 0}
+
+    def test_stats_op_returns_load_and_registry(self):
+        trace = rubik_section()
+        with SessionServer(max_sessions=4) as server:
+            port = server.serve_tcp()
+            server.submit(trace, RunConfig(n_procs=2)).result(
+                timeout=60)
+            stats = TestTcpFrontEnd().request(port, {"op": "stats"})
+        assert stats["ok"] and stats["op"] == "stats"
+        assert stats["load"]["sessions"]["completed"] == 1
+        # The registry is process-global: earlier tests' sessions
+        # accumulate, so assert floors, not exact counts.
+        latency = stats["obs"]["served.session_latency_s"]
+        assert latency["count"] >= 1
+        assert latency["p99"] is not None
+        assert stats["obs"]["served.completed"] >= 1
+
+    def test_metrics_endpoint_scrapes_prometheus_text(self):
+        import urllib.request
+        trace = rubik_section()
+        with SessionServer(max_sessions=4) as server:
+            metrics_port = server.serve_metrics()
+            server.submit(trace, RunConfig(n_procs=2)).result(
+                timeout=60)
+            base = f"http://127.0.0.1:{metrics_port}"
+            text = urllib.request.urlopen(
+                f"{base}/metrics", timeout=30).read().decode()
+            ready = json.loads(urllib.request.urlopen(
+                f"{base}/ready", timeout=30).read())
+        assert "# TYPE repro_served_sessions_total counter" in text
+        assert "repro_served_session_latency_s_count" in text
+        assert 'quantile="0.99"' in text
+        assert ready["ok"] and ready["ready"]
+
+    def test_live_trace_rejected(self):
+        trace = rubik_section()
+        server = SessionServer(max_sessions=2)
+        try:
+            with pytest.raises(ValueError, match="live tracing"):
+                server.submit(trace, RunConfig(n_procs=2,
+                                               live_trace=True))
+        finally:
+            server.stop()
+
+
+class TestLoadtest:
+    def test_arrival_schedule_is_deterministic(self):
+        from repro.exec import arrival_offsets
+        a = arrival_offsets(100, 2.0, seed=7)
+        assert a == arrival_offsets(100, 2.0, seed=7)
+        assert a != arrival_offsets(100, 2.0, seed=8)
+        assert len(a) == 100
+        assert all(x < y for x, y in zip(a, a[1:]))
+
+    def test_accounting_balances_and_quantiles_ordered(self):
+        from repro.exec import run_loadtest
+        payload = run_loadtest(sessions=12, duration_s=0.3, seed=3,
+                               procs=2)
+        assert payload["completed"] + payload["shed"]["total"] \
+            + sum(payload["errors"].values()) == 12
+        latency = payload["latency_s"]
+        if latency["count"]:
+            assert latency["p50"] <= latency["p95"] <= latency["p99"]
+            assert latency["p99"] <= latency["max"]
+
+    def test_overload_sheds_with_reason(self):
+        from repro.exec import run_loadtest
+        payload = run_loadtest(sessions=40, duration_s=0.05, seed=3,
+                               procs=2, max_sessions=1, max_pending=2)
+        assert payload["shed"]["total"] > 0
+        assert payload["shed"]["overloaded"] == payload["shed"]["total"]
+        assert payload["completed"] + payload["shed"]["total"] \
+            + sum(payload["errors"].values()) == 40

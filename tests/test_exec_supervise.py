@@ -340,6 +340,84 @@ def test_supervised_survives_random_drops(trace, chaos_seed):
     assert live == sim_signature(trace, config)
 
 
+class TestRestartObservability:
+    """The supervision layer's story must be *observable*: restart and
+    replay spans in a traced run, and ``supervise.*`` counters that
+    reconcile with the typed error's own attempt accounting."""
+
+    def _counters(self):
+        from repro.obs import get_registry
+        registry = get_registry()
+        return {name: registry.counter(name).value
+                for name in ("supervise.restarts", "supervise.giveups",
+                             "supervise.crashes")}
+
+    def test_restart_spans_match_counters_and_generation(self, rubik):
+        from repro.obs.trace import LIVE_RESTART
+        first = rubik.cycles[0].index
+        chaos = ChaosPolicy(seed=3, kills=((first, 1),))
+        config = RunConfig(n_procs=4, overheads=OV8, supervise=FAST,
+                           live_trace=True)
+        before = self._counters()
+        outcome = ActorExecutor(chaos=chaos).submit(
+            rubik, config).result()
+        after = self._counters()
+        restarts = after["supervise.restarts"] \
+            - before["supervise.restarts"]
+        assert restarts >= 1
+        assert after["supervise.giveups"] \
+            == before["supervise.giveups"]
+        timeline = outcome.live
+        restart_spans = [s for s in timeline.spans
+                         if s.category == LIVE_RESTART]
+        assert len(restart_spans) == restarts
+        # The killed cycle committed on a later generation; each
+        # restart advances the generation by exactly one.
+        assert timeline.committed[first] == restarts
+        assert match_signature(outcome) == sim_signature(
+            rubik, RunConfig(n_procs=4, overheads=OV8,
+                             supervise=FAST))
+
+    def test_exhaustion_counters_reconcile_with_error(self, rubik):
+        first = rubik.cycles[0].index
+        chaos = ChaosPolicy(seed=3, persistent_kills=((first, 0),))
+        config = RunConfig(n_procs=2, overheads=OV8, supervise=FAST)
+        before = self._counters()
+        with pytest.raises(RestartsExhausted) as info:
+            ActorExecutor(chaos=chaos).submit(rubik, config).result()
+        after = self._counters()
+        # attempts = 1 first try + max_restarts replays; every failed
+        # attempt except the last triggered a counted restart, the
+        # last became the giveup, and each attempt crashed once.
+        assert info.value.attempts == FAST.max_restarts + 1
+        assert after["supervise.restarts"] \
+            - before["supervise.restarts"] == info.value.attempts - 1
+        assert after["supervise.giveups"] \
+            - before["supervise.giveups"] == 1
+        assert after["supervise.crashes"] \
+            - before["supervise.crashes"] == info.value.attempts
+
+    def test_exhaustion_replay_spans_in_flight_dump(
+            self, rubik, tmp_path, monkeypatch):
+        from repro.obs.trace import LIVE_REPLAY, LIVE_RESTART
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+        first = rubik.cycles[0].index
+        chaos = ChaosPolicy(seed=3, persistent_kills=((first, 0),))
+        config = RunConfig(n_procs=2, overheads=OV8, supervise=FAST,
+                           live_trace=True)
+        with pytest.raises(RestartsExhausted):
+            ActorExecutor(chaos=chaos).submit(rubik, config).result()
+        dump = next(iter(tmp_path.glob("flight-*.jsonl")))
+        import json as json_mod
+        lines = dump.read_text().splitlines()
+        categories = [json_mod.loads(line)["category"]
+                      for line in lines[1:]]
+        # One restart window per counted restart, one failed-replay
+        # window per re-attempt: both reconcile with max_restarts.
+        assert categories.count(LIVE_RESTART) == FAST.max_restarts
+        assert categories.count(LIVE_REPLAY) == FAST.max_restarts
+
+
 class TestSupervisedEntryPoints:
     def test_async_entry_point_returns_triple(self, rubik):
         config = RunConfig(n_procs=2, overheads=OV8, supervise=FAST)
