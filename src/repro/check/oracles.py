@@ -64,6 +64,14 @@ paths that are documented to produce *identical* results.  The pairs:
 ``rete_vs_naive``
     Incremental Rete match against the from-scratch naive matcher:
     identical conflict sets after every working-memory change.
+``rete_fast_vs_reference``
+    The flattened match kernel (:mod:`repro.rete.kernel`) against the
+    preserved object-dispatch engine
+    (:class:`~repro.rete._reference.ReferenceReteNetwork`): identical
+    conflict sets after every change (with and without the vectorized
+    alpha path), a bit-identical activation-event stream on the traced
+    path, and equal memory totals at the end.  Together with
+    ``rete_vs_naive`` this pins naive → reference Rete → fast Rete.
 
 Each oracle returns ``None`` on success or a one-line failure detail.
 All the per-oracle parameter draws (processor counts, overhead rows)
@@ -94,7 +102,7 @@ from ..mpc.timeline import TimelineRecorder
 from ..obs import get_registry
 from ..ops5 import NaiveMatcher, parse_production
 from ..ops5.wme import WME
-from ..rete import ReteNetwork
+from ..rete import ReferenceReteNetwork, ReteNetwork
 from ..trace import cache as trace_cache
 from ..trace.cache import cached_trace, trace_key
 from ..trace.events import SectionTrace
@@ -491,6 +499,72 @@ def rete_vs_naive(case: ProgramCase) -> Optional[str]:
     return None
 
 
+def _event_tuple(event):
+    return (event.act_id, event.parent_id, event.node_id,
+            event.node_label, event.node_kind, event.side, event.tag,
+            event.key, event.n_successors)
+
+
+def rete_fast_vs_reference(case: ProgramCase) -> Optional[str]:
+    """Pin the flattened kernel to the preserved object-dispatch engine.
+
+    Three engines run the same churn script: the reference network and
+    the kernel with an observer attached (exercising the traced stack
+    machine, which must reproduce the reference's activation-event
+    stream *bit for bit* — ids, parents, keys, successor counts), and
+    an unobserved kernel with the vectorized alpha path disabled
+    (exercising the untraced fast walk and the pure-Python fallback).
+    Conflict sets are compared after every delta; memory totals and the
+    event streams are compared at the end.
+    """
+    reference = ReferenceReteNetwork()
+    fast = ReteNetwork()
+    plain = ReteNetwork(use_numpy=False)
+    ref_events: List = []
+    fast_events: List = []
+    reference.observers.append(ref_events.append)
+    fast.observers.append(fast_events.append)
+    engines = (reference, fast, plain)
+    for source in case.rules:
+        production = parse_production(source)
+        for engine in engines:
+            engine.add_production(production)
+    wmes = {}
+    timestamp = 0
+    for step, op in enumerate(case.script):
+        if op[0] == "add":
+            _, wid, cls, payload = op
+            timestamp += 1
+            wme = WME(wid, cls, dict(payload), timestamp=timestamp)
+            wmes[wid] = wme
+            for engine in engines:
+                engine.add_wme(wme)
+        else:
+            wme = wmes.pop(op[1])
+            for engine in engines:
+                engine.remove_wme(wme)
+        want = _conflict_signature(reference)
+        if _conflict_signature(fast) != want:
+            return (f"fast kernel conflict set diverged after step "
+                    f"{step} ({op[0]} wme {op[1]})")
+        if _conflict_signature(plain) != want:
+            return (f"no-numpy kernel conflict set diverged after step "
+                    f"{step} ({op[0]} wme {op[1]})")
+    if len(ref_events) != len(fast_events):
+        return (f"event stream lengths diverged: reference "
+                f"{len(ref_events)}, fast {len(fast_events)}")
+    for i, (ref_ev, fast_ev) in enumerate(zip(ref_events, fast_events)):
+        if _event_tuple(ref_ev) != _event_tuple(fast_ev):
+            return (f"activation event {i} diverged: reference "
+                    f"{_event_tuple(ref_ev)}, fast {_event_tuple(fast_ev)}")
+    ref_counts = reference.memories.counts()
+    for name, engine in (("fast", fast), ("no-numpy", plain)):
+        if engine.memories.counts() != ref_counts:
+            return (f"{name} memory totals {engine.memories.counts()} "
+                    f"!= reference {ref_counts}")
+    return None
+
+
 #: The full matrix, in execution order.
 ORACLES: Tuple[Oracle, ...] = (
     Oracle("opt_vs_reference", "trace", opt_vs_reference),
@@ -507,6 +581,7 @@ ORACLES: Tuple[Oracle, ...] = (
     Oracle("cache_round_trip", "trace", cache_round_trip),
     Oracle("parallel_vs_serial", "trace", parallel_vs_serial, every=25),
     Oracle("rete_vs_naive", "program", rete_vs_naive),
+    Oracle("rete_fast_vs_reference", "program", rete_fast_vs_reference),
 )
 
 

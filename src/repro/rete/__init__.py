@@ -19,13 +19,16 @@ from .dot import save_dot, to_dot
 from .footprint import (INLINE_BYTES_PER_NODE, STRUCT_BYTES_PER_NODE,
                         Partitioning, inline_bytes, partition_nodes,
                         partitions_needed, struct_bytes)
+from ._reference import ReferenceReteNetwork
 from .hashing import BucketKey, bucket_index, fnv1a, stable_hash
-from .memory import HashedMemories
+from .kernel import NUMPY_MIN_PATTERNS, ReteKernel, resolve_numpy
+from .memory import FlatMemories, HashedMemories
 from .network import ReteError, ReteNetwork
 from .nodes import (AlphaPattern, BetaNode, JoinNode, NegativeNode,
                     ProductionNode)
 from .stats import ActivationCounter, ActivationEvent
-from .tokens import EMPTY_TOKEN, MINUS, PLUS, Token, make_unit_token
+from .tokens import (EMPTY_TOKEN, MINUS, PLUS, Token, TokenPool,
+                     make_unit_token)
 from .transform import (build_network, build_unshared_network,
                         copy_and_constraint_ranges,
                         copy_and_constraint_values, sharing_factor)
@@ -33,12 +36,14 @@ from .transform import (build_network, build_unshared_network,
 __all__ = [
     "CEAnalysis", "NetworkBuilder", "analyze_ce",
     "BucketKey", "bucket_index", "fnv1a", "stable_hash",
-    "HashedMemories",
-    "ReteError", "ReteNetwork",
+    "FlatMemories", "HashedMemories",
+    "NUMPY_MIN_PATTERNS", "ReteKernel", "resolve_numpy",
+    "ReferenceReteNetwork", "ReteError", "ReteNetwork",
     "AlphaPattern", "BetaNode", "JoinNode", "NegativeNode",
     "ProductionNode",
     "ActivationCounter", "ActivationEvent",
-    "EMPTY_TOKEN", "MINUS", "PLUS", "Token", "make_unit_token",
+    "EMPTY_TOKEN", "MINUS", "PLUS", "Token", "TokenPool",
+    "make_unit_token",
     "build_network", "build_unshared_network",
     "copy_and_constraint_ranges", "copy_and_constraint_values",
     "sharing_factor",

@@ -1,27 +1,25 @@
-"""The Rete network: the paper's match engine, usable as an interpreter
-matcher and as the source of hash-table activity traces.
+"""The original object-dispatch Rete engine, preserved verbatim.
 
-:class:`ReteNetwork` implements the :class:`repro.ops5.matcher.Matcher`
-protocol.  Working-memory deltas enter through :meth:`add_wme` /
-:meth:`remove_wme`; the network propagates +/- tokens through the shared
-join structure, keeps all memory-node state in the two global hash
-tables, and maintains the conflict set at the terminal nodes.
+This module mirrors :mod:`repro.mpc._reference`: when the match hot
+path was rewritten as a flattened kernel (:mod:`repro.rete.kernel`),
+the engine it replaced moved here, unchanged, so that every future
+optimization can be checked against the original behaviour bit for bit.
 
-Since the flattened-kernel rewrite (ROADMAP item 2) this class is a
-*front end*: productions are compiled by the ordinary
-:class:`~repro.rete.builder.NetworkBuilder` into the node-object graph
-(kept for structural introspection, sharing analysis and dot export),
-and the first working-memory delta lowers that graph into a
-:class:`~repro.rete.kernel.ReteKernel` — flat instruction arrays, a
-pooled token store and class-indexed alpha dispatch — which executes
-all waves from then on.  The original object-dispatch engine survives
-unchanged as :class:`repro.rete._reference.ReferenceReteNetwork`; the
-``rete_fast_vs_reference`` conformance oracle pins the two to identical
-conflict sets and activation-event streams.
+:class:`ReferenceReteNetwork` is the pre-kernel :class:`ReteNetwork`:
+working-memory deltas propagate through :class:`~repro.rete.nodes`
+objects by recursive ``left_activate`` / ``right_activate`` dispatch,
+memory state lives in :class:`~repro.rete.memory.HashedMemories`, and
+tokens are immutable :class:`~repro.rete.tokens.Token` values.  It
+implements the same :class:`~repro.ops5.matcher.Matcher` protocol and
+emits the same :class:`~repro.rete.stats.ActivationEvent` stream.
 
-Every two-input/terminal activation is reported to ``observers`` as an
-:class:`~repro.rete.stats.ActivationEvent` — the raw material for the
-Figure 4-1 trace.
+The equivalence chain is pinned end to end by the conformance harness:
+``rete_vs_naive`` proves the reference engine against the from-scratch
+naive matcher, and ``rete_fast_vs_reference`` proves the flattened
+kernel against this engine — identical conflict sets *and* identical
+activation-event streams after every working-memory change.
+
+Do not "improve" this module.  Its value is that it does not change.
 """
 
 from __future__ import annotations
@@ -33,12 +31,11 @@ from ..ops5.conflict import Instantiation
 from ..ops5.wme import WME
 from .builder import NetworkBuilder
 from .hashing import BucketKey
-from .kernel import ReteKernel
-from .memory import FlatMemories
+from .memory import HashedMemories
 from .nodes import (AlphaPattern, BetaNode, BindingSpec, JoinNode,
                     NegativeNode, ProductionNode)
 from .stats import ActivationEvent
-from .tokens import MINUS, PLUS
+from .tokens import MINUS, PLUS, make_unit_token
 
 
 class ReteError(Exception):
@@ -57,19 +54,15 @@ class _Subscription:
         self.unit_bindings = unit_bindings
 
 
-class ReteNetwork:
-    """A complete Rete match engine with hashed memories."""
+class ReferenceReteNetwork:
+    """The original Rete match engine with hashed memories."""
 
-    def __init__(self, share: bool = True,
-                 use_numpy: Optional[bool] = None) -> None:
+    def __init__(self, share: bool = True) -> None:
         #: When False, two-input nodes are never shared between
         #: productions — the global form of the paper's Section 5.2.1
         #: "unsharing" transformation (Figure 5-3).
         self.share = share
-        #: Vectorized-alpha override: None = capability check decides
-        #: (numpy importable, ``REPRO_RETE_NUMPY`` env var honoured),
-        #: True/False forces the choice.  See :mod:`repro.rete.kernel`.
-        self.use_numpy = use_numpy
+        self.memories = HashedMemories()
         self.observers: List[Callable[[ActivationEvent], None]] = []
         self._builder = NetworkBuilder(self)
         self._alpha_patterns: List[AlphaPattern] = []
@@ -86,7 +79,6 @@ class ReteNetwork:
         self._next_act_id = 1
         self._live_wme_count = 0
         self._wmes_seen = False
-        self._kernel: Optional[ReteKernel] = None
 
     # -- Matcher protocol -----------------------------------------------------
 
@@ -104,43 +96,42 @@ class ReteNetwork:
                 "rebuild the network to change the rule set")
         self._productions.append(production)
         self._builder.add_production(production)
-        self._kernel = None  # recompile lazily with the new topology
 
     def add_wme(self, wme: WME) -> None:
         """Propagate a wme addition (a + token wave) through the network."""
         self._wmes_seen = True
         self._live_wme_count += 1
-        (self._kernel or self._compile()).dispatch(wme, PLUS)
+        self._dispatch(wme, PLUS)
 
     def remove_wme(self, wme: WME) -> None:
         """Propagate a wme deletion (a - token wave) through the network."""
         self._wmes_seen = True
         self._live_wme_count -= 1
-        (self._kernel or self._compile()).dispatch(wme, MINUS)
+        self._dispatch(wme, MINUS)
 
     def conflict_set(self) -> List[Instantiation]:
         """All live instantiations across the terminal nodes."""
-        return (self._kernel or self._compile()).conflict_set()
+        out: List[Instantiation] = []
+        for terminal in self._terminals:
+            out.extend(terminal.instantiations())
+        return out
 
-    # -- kernel management ----------------------------------------------------
+    # -- alpha dispatch -----------------------------------------------------------
 
-    def _compile(self) -> ReteKernel:
-        """Lower the node graph into the flat kernel (idempotent)."""
-        kernel = ReteKernel(self, use_numpy=self.use_numpy)
-        self._kernel = kernel
-        return kernel
+    def _dispatch(self, wme: WME, tag: str) -> None:
+        for pattern in self._alpha_patterns:
+            if not pattern.matches(wme):
+                continue
+            for sub in self._subscriptions.get(pattern.pattern_id, []):
+                if sub.side == "right":
+                    sub.node.right_activate(wme, tag, parent_act=None)  # type: ignore[union-attr]
+                else:
+                    bindings = {var: wme.get(attr)
+                                for var, attr in sub.unit_bindings}
+                    token = make_unit_token(wme, bindings)
+                    sub.node.left_activate(token, tag, parent_act=None)
 
-    @property
-    def kernel(self) -> ReteKernel:
-        """The compiled kernel (compiling on first access)."""
-        return self._kernel or self._compile()
-
-    @property
-    def memories(self) -> FlatMemories:
-        """The global left/right memory tables of the compiled kernel."""
-        return (self._kernel or self._compile()).memories
-
-    # -- builder services -----------------------------------------------------
+    # -- builder services -----------------------------------------------------------
 
     def new_node_id(self) -> int:
         nid = self._next_node_id
@@ -173,11 +164,7 @@ class ReteNetwork:
     def emit_activation(self, node: BetaNode, side: str, tag: str,
                         key: BucketKey, parent_act: Optional[int]) -> \
             Optional[ActivationEvent]:
-        """Open an activation event.  Returns None when nobody listens.
-
-        Kept for API parity with the reference engine; the kernel emits
-        its events directly (same ids, same order).
-        """
+        """Open an activation event.  Returns None when nobody listens."""
         if not self.observers:
             return None
         event = ActivationEvent(

@@ -98,3 +98,54 @@ class HashedMemories:
     def clear(self) -> None:
         self._left.clear()
         self._right.clear()
+
+
+class FlatMemories:
+    """The flattened kernel's view of the two global memories.
+
+    Same hashed-memory semantics as :class:`HashedMemories` — one
+    conceptual left table and one right table, bucketed by destination
+    node and equality-test values — but laid out for the hot path:
+
+    * one plain dict per compiled node (node identity is the list
+      index, so bucket keys are bare value tuples — no
+      :class:`~repro.rete.hashing.BucketKey` object per lookup);
+    * left buckets hold **token-pool indices** (ints into the
+      :class:`~repro.rete.tokens.TokenPool` arrays), not token
+    * string values are interned before keying (see
+      :func:`~repro.rete.hashing.intern_value`), so bucket probes
+      compare symbols by pointer.
+
+    Buckets are deleted when they empty, preserving the reference
+    engine's "no state after symmetric add/delete" invariant that
+    :meth:`is_empty` reports.
+    """
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, n_nodes: int) -> None:
+        #: per-node dict: value-tuple -> list of token pool indices
+        self.left: List[Dict[tuple, List[int]]] = [
+            {} for _ in range(n_nodes)]
+        #: per-node dict: value-tuple -> list of wmes
+        self.right: List[Dict[tuple, List[WME]]] = [
+            {} for _ in range(n_nodes)]
+
+    # The introspection surface shared with HashedMemories ---------------
+
+    def counts(self) -> Tuple[int, int]:
+        """(total left tokens, total right wmes) across all buckets."""
+        left = sum(len(b) for node in self.left for b in node.values())
+        right = sum(len(b) for node in self.right for b in node.values())
+        return left, right
+
+    def is_empty(self) -> bool:
+        """True when no state is stored — e.g. after symmetric add/delete."""
+        return (all(not node for node in self.left)
+                and all(not node for node in self.right))
+
+    def clear(self) -> None:
+        for node in self.left:
+            node.clear()
+        for node in self.right:
+            node.clear()

@@ -17,6 +17,14 @@ The paper's three node types (Section 2.2) map as follows:
 Every token arrival at a two-input or terminal node is reported to the
 owning network as an *activation* (the unit of cost in the paper's
 simulator); see :mod:`repro.rete.stats` for the event type.
+
+Since the flattened-kernel rewrite these classes are the network's
+*structural* representation only: the builder still creates them, the
+sharing/partitioning analyses and dot export still walk them, and
+:class:`~repro.rete._reference.ReferenceReteNetwork` still executes
+through their recursive ``left_activate`` / ``right_activate`` methods
+— but the production engine lowers them into flat instruction arrays
+(:mod:`repro.rete.kernel`) before the first wme wave.
 """
 
 from __future__ import annotations
